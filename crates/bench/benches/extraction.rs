@@ -1,0 +1,42 @@
+//! Feature-extraction cost: TLS transactions vs packet traces.
+//!
+//! The per-session compute gap behind the paper's ~60× claim (503 s vs
+//! 8.3 s for the whole Svc1 corpus).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtp_core::sim::{simulate_session, SessionConfig};
+use dtp_core::ServiceId;
+use dtp_features::{extract_packet_features, extract_tls_features};
+use dtp_simnet::{TraceConfig, TraceKind};
+use std::hint::black_box;
+
+fn session() -> dtp_core::sim::SimulatedSession {
+    let trace = TraceConfig { kind: TraceKind::Lte, duration_s: 900.0, seed: 42 }.generate();
+    simulate_session(&SessionConfig {
+        service: ServiceId::Svc1,
+        trace,
+        kind: TraceKind::Lte,
+        watch_duration_s: 300.0,
+        seed: 42,
+        capture_packets: true,
+    })
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let s = session();
+    let tls = s.telemetry.tls.transactions().to_vec();
+    let packets = s.telemetry.packets.clone();
+    println!("session has {} TLS transactions and {} packets", tls.len(), packets.len());
+
+    let mut group = c.benchmark_group("feature_extraction");
+    group.bench_function("tls_38_features", |b| {
+        b.iter(|| black_box(extract_tls_features(black_box(&tls))))
+    });
+    group.bench_function("packet_ml16_features", |b| {
+        b.iter(|| black_box(extract_packet_features(black_box(&packets))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

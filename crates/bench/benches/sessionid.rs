@@ -1,0 +1,25 @@
+//! Session-identification heuristic throughput: the heuristic must run at
+//! proxy-log scale, so its per-transaction cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtp_core::sessionid::{stitch_sessions, SessionIdParams, SessionSplitter};
+use dtp_core::ServiceId;
+use std::hint::black_box;
+
+fn bench_sessionid(c: &mut Criterion) {
+    let stream = stitch_sessions(ServiceId::Svc1, 60, 3);
+    println!("stream has {} transactions over {} sessions", stream.transactions.len(), 60);
+    let splitter = SessionSplitter::new(SessionIdParams::default());
+
+    let mut group = c.benchmark_group("session_identification");
+    group.bench_function("detect_60_sessions", |b| {
+        b.iter(|| black_box(splitter.detect(black_box(&stream.transactions))))
+    });
+    group.bench_function("split_60_sessions", |b| {
+        b.iter(|| black_box(splitter.split(black_box(&stream.transactions))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessionid);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end session simulation throughput, with and without the packet
+//! view — the data-collection cost asymmetry the paper argues from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtp_core::sim::{simulate_session, SessionConfig};
+use dtp_core::ServiceId;
+use dtp_simnet::{TraceConfig, TraceKind};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let trace = TraceConfig { kind: TraceKind::Lte, duration_s: 720.0, seed: 9 }.generate();
+    let base = SessionConfig {
+        service: ServiceId::Svc2,
+        trace,
+        kind: TraceKind::Lte,
+        watch_duration_s: 240.0,
+        seed: 9,
+        capture_packets: false,
+    };
+
+    let mut group = c.benchmark_group("simulate_session_240s");
+    group.sample_size(20);
+    group.bench_function("tls_view_only", |b| {
+        b.iter(|| black_box(simulate_session(black_box(&base))))
+    });
+    let with_packets = SessionConfig { capture_packets: true, ..base.clone() };
+    group.bench_function("with_packet_capture", |b| {
+        b.iter(|| black_box(simulate_session(black_box(&with_packets))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Model training/prediction cost at corpus scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtp_core::dataset::DatasetBuilder;
+use dtp_core::label::QoeMetricKind;
+use dtp_core::ServiceId;
+use dtp_ml::{Classifier, RandomForest, RandomForestConfig};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(300).seed(1).build();
+    let ds = corpus.tls_dataset(QoeMetricKind::Combined);
+
+    let mut group = c.benchmark_group("random_forest");
+    group.sample_size(10);
+    group.bench_function("fit_100_trees_300_sessions", |b| {
+        b.iter(|| {
+            let mut f = RandomForest::new(RandomForestConfig::default());
+            f.fit(black_box(&ds.features), black_box(&ds.labels), 3);
+            black_box(f)
+        })
+    });
+
+    let mut fitted = RandomForest::new(RandomForestConfig::default());
+    fitted.fit(&ds.features, &ds.labels, 3);
+    group.bench_function("predict_one_session", |b| {
+        b.iter(|| black_box(fitted.predict(black_box(&ds.features[0]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

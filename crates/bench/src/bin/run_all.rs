@@ -1,0 +1,54 @@
+//! Run every experiment binary in sequence (the full paper reproduction).
+//!
+//! Equivalent to invoking each `fig*`/`table*`/`extra*` binary; honours the
+//! same `DTP_SESSIONS` / `DTP_SEED` / `DTP_JSON` environment knobs.
+
+use std::process::Command;
+
+const BINARIES: [&str; 17] = [
+    "fig2_transactions",
+    "fig3_traces",
+    "fig4_qoe_distribution",
+    "fig5_accuracy",
+    "table2_confusion",
+    "table3_ablation",
+    "fig6_importance",
+    "fig7_boxplots",
+    "table4_packet_vs_tls",
+    "table5_sessionid",
+    "extra_models",
+    "extra_flow_granularity",
+    "extra_abr_ablation",
+    "extra_emimic",
+    "extra_realtime",
+    "extra_startup_mos",
+    "extra_detection_tradeoff",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e} (build with `cargo build --release -p dtp-bench` first)");
+                failures.push(bin);
+            }
+        }
+    }
+    // extra_intervals is cheap; run it last so a partial run still covers
+    // every paper artifact above.
+    let _ = Command::new(dir.join("extra_intervals")).status();
+    if !failures.is_empty() {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,273 @@
+//! eMIMIC-style model-based QoE estimation from HTTP transactions.
+//!
+//! The paper's related work includes the authors' earlier *eMIMIC* system
+//! (\[22\]: "eMIMIC: Estimating HTTP-based Video QoE Metrics from Encrypted
+//! Network Traffic", TMA 2018): instead of learning a model, it *emulates
+//! the player* from per-HTTP-transaction data — identify segment downloads,
+//! estimate per-segment bitrate from sizes, and reconstruct the playback
+//! buffer to detect stalls. We implement it as a third comparison point
+//! between the TLS-feature model (coarsest) and ML16 on packets (finest):
+//! eMIMIC needs HTTP transaction boundaries, which for encrypted traffic
+//! must themselves be recovered from packet traces — so its data cost is
+//! packet-class, while its estimation is deterministic and training-free.
+//!
+//! Simplifications vs the original: fixed nominal segment duration (known
+//! per service), no audio/video track separation (audio transactions fall
+//! below the segment-size threshold), and the startup threshold is a fixed
+//! number of segments.
+
+use dtp_hasplayer::service::ServiceProfile;
+use dtp_telemetry::HttpTransactionRecord;
+
+use crate::label::{rebuf_category, QoeCategory, RebufCategory};
+
+/// Configuration for the model-based estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct EmimicConfig {
+    /// Nominal segment duration (known per service/protocol), seconds.
+    pub segment_duration_s: f64,
+    /// Transactions smaller than this are not media segments (manifests,
+    /// beacons, audio init...).
+    pub min_segment_bytes: f64,
+    /// Playback is assumed to start after this many segments have arrived.
+    pub startup_segments: usize,
+}
+
+impl EmimicConfig {
+    /// Sensible defaults for a service profile.
+    pub fn for_profile(profile: &ServiceProfile) -> Self {
+        Self {
+            segment_duration_s: profile.segment_duration_s,
+            // Half the smallest rung's nominal segment size: filters
+            // manifests/beacons but keeps low-quality video segments.
+            min_segment_bytes: profile.ladder.level(0).bitrate_kbps * 125.0
+                * profile.segment_duration_s
+                * 0.4,
+            startup_segments: 2,
+        }
+    }
+}
+
+/// Per-session QoE estimates produced by the emulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmimicEstimate {
+    /// Segments identified.
+    pub segments: usize,
+    /// Estimated mean playback bitrate, kbit/s.
+    pub avg_bitrate_kbps: f64,
+    /// Estimated startup delay, seconds.
+    pub startup_delay_s: f64,
+    /// Estimated total stall time, seconds.
+    pub stall_s: f64,
+    /// Estimated playback seconds.
+    pub played_s: f64,
+}
+
+impl EmimicEstimate {
+    /// Estimated re-buffering ratio (stall over playback).
+    pub fn rebuffering_ratio(&self) -> f64 {
+        if self.played_s <= 0.0 {
+            return if self.stall_s > 0.0 { 1.0 } else { 0.0 };
+        }
+        self.stall_s / self.played_s
+    }
+
+    /// Estimated re-buffering category.
+    pub fn rebuf_category(&self) -> RebufCategory {
+        rebuf_category(self.rebuffering_ratio())
+    }
+
+    /// Estimated quality category by comparing the estimated bitrate with
+    /// the service's *nominal* ladder thresholds — the calibration an ISP
+    /// would use without knowing per-title encoding.
+    pub fn quality_category(&self, profile: &ServiceProfile) -> QoeCategory {
+        // Nominal bitrate of the highest "low" rung and the highest
+        // "medium" rung bound the categories.
+        let mut low_max = 0.0f64;
+        let mut med_max = 0.0f64;
+        for l in profile.ladder.levels() {
+            if l.resolution_p <= profile.thresholds.low_max_p {
+                low_max = low_max.max(l.bitrate_kbps);
+            } else if l.resolution_p <= profile.thresholds.med_max_p {
+                med_max = med_max.max(l.bitrate_kbps);
+            }
+        }
+        // Midpoints between rungs as decision boundaries.
+        if self.avg_bitrate_kbps <= low_max * 1.25 {
+            QoeCategory::Low
+        } else if self.avg_bitrate_kbps <= med_max * 1.25 {
+            QoeCategory::Medium
+        } else {
+            QoeCategory::High
+        }
+    }
+
+    /// Estimated combined QoE (minimum rule, like the ground truth).
+    pub fn combined(&self, profile: &ServiceProfile) -> QoeCategory {
+        self.quality_category(profile).min(self.rebuf_category().as_quality_scale())
+    }
+}
+
+/// Run the eMIMIC emulation over a session's HTTP transactions.
+///
+/// Transactions need not be sorted. Returns all-zero estimates for sessions
+/// with no recognizable segments.
+pub fn estimate(http: &[HttpTransactionRecord], cfg: &EmimicConfig) -> EmimicEstimate {
+    // 1. Segment identification: large-enough downloads.
+    let mut segs: Vec<&HttpTransactionRecord> =
+        http.iter().filter(|h| h.down_bytes >= cfg.min_segment_bytes).collect();
+    segs.sort_by(|a, b| a.end_s.partial_cmp(&b.end_s).expect("finite ends"));
+    if segs.is_empty() {
+        return EmimicEstimate {
+            segments: 0,
+            avg_bitrate_kbps: 0.0,
+            startup_delay_s: 0.0,
+            stall_s: 0.0,
+            played_s: 0.0,
+        };
+    }
+
+    // 2. Bitrate: segment bytes over nominal duration.
+    let total_bytes: f64 = segs.iter().map(|s| s.down_bytes).sum();
+    let avg_bitrate_kbps =
+        total_bytes * 8.0 / 1000.0 / (segs.len() as f64 * cfg.segment_duration_s);
+
+    // 3. Buffer emulation: each completed segment adds one segment duration;
+    //    playback starts after `startup_segments` arrivals and drains in
+    //    real time; an empty buffer between arrivals is a stall.
+    let start_idx = cfg.startup_segments.saturating_sub(1).min(segs.len() - 1);
+    let playback_start = segs[start_idx].end_s;
+    let mut buffer_s = (start_idx + 1) as f64 * cfg.segment_duration_s;
+    let mut clock = playback_start;
+    let mut stall_s = 0.0;
+    let mut played_s = 0.0;
+
+    for seg in &segs[start_idx + 1..] {
+        let arrive = seg.end_s.max(clock);
+        let gap = arrive - clock;
+        if gap > 0.0 {
+            let play = gap.min(buffer_s);
+            played_s += play;
+            buffer_s -= play;
+            if gap > play {
+                stall_s += gap - play;
+            }
+            clock = arrive;
+        }
+        buffer_s += cfg.segment_duration_s;
+    }
+    // Drain whatever is left after the last download.
+    played_s += buffer_s;
+
+    EmimicEstimate {
+        segments: segs.len(),
+        avg_bitrate_kbps,
+        startup_delay_s: playback_start,
+        stall_s,
+        played_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_hasplayer::service::ServiceId;
+    use std::sync::Arc;
+
+    fn cfg() -> EmimicConfig {
+        EmimicConfig { segment_duration_s: 4.0, min_segment_bytes: 100_000.0, startup_segments: 2 }
+    }
+
+    fn tx(start: f64, end: f64, down: f64) -> HttpTransactionRecord {
+        HttpTransactionRecord {
+            start_s: start,
+            end_s: end,
+            up_bytes: 850.0,
+            down_bytes: down,
+            host: Arc::from("cdn0.media.svc1.example"),
+            connection_id: 0,
+        }
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let e = estimate(&[], &cfg());
+        assert_eq!(e.segments, 0);
+        assert_eq!(e.rebuffering_ratio(), 0.0);
+    }
+
+    #[test]
+    fn small_transactions_filtered_out() {
+        // Manifest + beacons only: no segments.
+        let http = vec![tx(0.0, 0.5, 60_000.0), tx(30.0, 30.1, 400.0)];
+        let e = estimate(&http, &cfg());
+        assert_eq!(e.segments, 0);
+    }
+
+    #[test]
+    fn steady_download_means_no_stalls() {
+        // A segment arrives every 4 s (exactly real time), each 500 KB.
+        let http: Vec<_> =
+            (0..20).map(|i| tx(i as f64 * 4.0, i as f64 * 4.0 + 3.0, 500_000.0)).collect();
+        let e = estimate(&http, &cfg());
+        assert_eq!(e.segments, 20);
+        assert_eq!(e.stall_s, 0.0, "arrivals keep pace with playback");
+        // 500 KB / 4 s = 1000 kbps.
+        assert!((e.avg_bitrate_kbps - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn download_gap_longer_than_buffer_is_a_stall() {
+        // Two quick segments (8 s of content), then a 30 s gap.
+        let http = vec![
+            tx(0.0, 1.0, 500_000.0),
+            tx(1.0, 2.0, 500_000.0),
+            tx(2.0, 32.0, 500_000.0),
+            tx(32.0, 33.0, 500_000.0),
+        ];
+        let e = estimate(&http, &cfg());
+        // Playback starts at t=2 with 8 s buffered; the next arrival at 32
+        // leaves a 30 s gap -> 8 played, 22 stalled.
+        assert!((e.stall_s - 22.0).abs() < 1e-9, "stall {}", e.stall_s);
+        assert!(e.rebuffering_ratio() > 0.5);
+    }
+
+    #[test]
+    fn categories_follow_bitrate() {
+        let profile = ServiceProfile::of(ServiceId::Svc1);
+        let mk = |kbps: f64| EmimicEstimate {
+            segments: 10,
+            avg_bitrate_kbps: kbps,
+            startup_delay_s: 1.0,
+            stall_s: 0.0,
+            played_s: 100.0,
+        };
+        assert_eq!(mk(200.0).quality_category(&profile), QoeCategory::Low);
+        assert_eq!(mk(900.0).quality_category(&profile), QoeCategory::Medium);
+        assert_eq!(mk(4000.0).quality_category(&profile), QoeCategory::High);
+        // Combined takes the minimum with re-buffering.
+        let mut bad = mk(4000.0);
+        bad.stall_s = 50.0;
+        assert_eq!(bad.combined(&profile), QoeCategory::Low);
+    }
+
+    #[test]
+    fn estimates_track_simulated_ground_truth_roughly() {
+        use crate::sim::{simulate_session, SessionConfig};
+        use dtp_simnet::{BandwidthTrace, TraceKind};
+        let s = simulate_session(&SessionConfig {
+            service: ServiceId::Svc1,
+            trace: BandwidthTrace::constant(6000.0, 700.0),
+            kind: TraceKind::Lte,
+            watch_duration_s: 180.0,
+            seed: 5,
+            capture_packets: false,
+        });
+        let cfg = EmimicConfig::for_profile(&s.profile);
+        let e = estimate(&s.telemetry.http, &cfg);
+        assert!(e.segments > 10);
+        // On a healthy constant link both agree: no stalls.
+        assert!(e.rebuffering_ratio() < 0.05, "estimated rr {}", e.rebuffering_ratio());
+        assert_eq!(s.ground_truth.total_stall_s, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dtp-core — the paper's pipeline, end to end
+//!
+//! Fig. 1 of the paper decomposes QoE inference into three steps:
+//!
+//! 1. **Network data collection** — [`sim`] streams a simulated session
+//!    (player + ABR + CDN + TLS pool + link) and captures both the coarse
+//!    TLS-transaction view and the fine packet-trace view.
+//! 2. **Video traffic and session identification** — [`identify`] classifies
+//!    transactions to services by SNI; [`sessionid`] implements the paper's
+//!    heuristic for delimiting back-to-back sessions (W = 3 s, N_min = 2,
+//!    δ_min = 0.5).
+//! 3. **QoE inference** — [`label`] defines the categorical QoE metrics
+//!    (re-buffering ratio, video quality, combined = min of the two);
+//!    [`dataset`] builds paper-sized corpora; [`estimator`] trains the
+//!    Random Forest; [`experiments`] reproduces every table and figure.
+
+pub mod dataset;
+pub mod emimic;
+pub mod estimator;
+pub mod experiments;
+pub mod identify;
+pub mod label;
+pub mod sessionid;
+pub mod sim;
+
+pub use dataset::{Corpus, DatasetBuilder, SessionRecord};
+pub use dtp_hasplayer::ServiceId;
+pub use estimator::QoeEstimator;
+pub use label::{QoeCategory, QoeMetricKind, RebufCategory};
+pub use sessionid::{SessionIdParams, SessionSplitter};
+pub use sim::{simulate_session, SessionConfig, SimulatedSession};

@@ -1,0 +1,275 @@
+//! Session identification for back-to-back viewing (Fig. 1 step 2, §4.2).
+//!
+//! A timeout-based splitter fails on consecutive sessions because "the
+//! active TLS transactions do not always end immediately once the player is
+//! closed, but timeout after some duration, leading to overlapping
+//! transactions" (§2.2). The paper's heuristic instead uses two signals:
+//!
+//! 1. session starts are bursty — more than one TLS transaction begins
+//!    within a short window, and
+//! 2. the serving hosts are likely to change across sessions.
+//!
+//! For each transaction, consider the set of transactions starting within
+//! `W` seconds; compute `N` (set size) and `δ` (fraction of the set on
+//! servers unseen in the current session). A transaction starts a new
+//! session if `N > N_min` and `δ > δ_min`. Paper parameters: `W = 3 s`,
+//! `N_min = 2`, `δ_min = 0.5`.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dtp_ml::ConfusionMatrix;
+use dtp_simnet::TraceCorpus;
+use dtp_telemetry::TlsTransactionRecord;
+
+use crate::sim::{simulate_session, SessionConfig};
+use crate::ServiceId;
+
+/// Heuristic parameters (paper defaults via [`Default`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionIdParams {
+    /// Look-ahead window W, seconds.
+    pub window_s: f64,
+    /// Minimum burst size N_min (strictly exceeded).
+    pub n_min: usize,
+    /// Minimum new-server fraction δ_min (strictly exceeded).
+    pub delta_min: f64,
+}
+
+impl Default for SessionIdParams {
+    fn default() -> Self {
+        Self { window_s: 3.0, n_min: 2, delta_min: 0.5 }
+    }
+}
+
+/// The session-boundary detector.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSplitter {
+    params: SessionIdParams,
+}
+
+impl SessionSplitter {
+    /// Detector with custom parameters.
+    pub fn new(params: SessionIdParams) -> Self {
+        assert!(params.window_s > 0.0, "window must be positive");
+        assert!((0.0..=1.0).contains(&params.delta_min), "delta_min is a fraction");
+        Self { params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &SessionIdParams {
+        &self.params
+    }
+
+    /// For each transaction (must be sorted by `start_s`), decide whether it
+    /// starts a new session.
+    ///
+    /// # Panics
+    /// Panics if the transactions are not sorted by start time.
+    pub fn detect(&self, transactions: &[TlsTransactionRecord]) -> Vec<bool> {
+        for w in transactions.windows(2) {
+            assert!(
+                w[0].start_s <= w[1].start_s + 1e-9,
+                "transactions must be sorted by start time"
+            );
+        }
+        let mut out = vec![false; transactions.len()];
+        let mut seen: HashSet<Arc<str>> = HashSet::new();
+        for i in 0..transactions.len() {
+            let t_i = transactions[i].start_s;
+            // The burst: transactions starting within W of this one.
+            let mut n = 0usize;
+            let mut unseen = 0usize;
+            for t in &transactions[i..] {
+                if t.start_s > t_i + self.params.window_s {
+                    break;
+                }
+                n += 1;
+                if !seen.contains(&t.sni) {
+                    unseen += 1;
+                }
+            }
+            let delta = if n > 0 { unseen as f64 / n as f64 } else { 0.0 };
+            if n > self.params.n_min && delta > self.params.delta_min {
+                out[i] = true;
+                seen.clear();
+            }
+            seen.insert(Arc::clone(&transactions[i].sni));
+        }
+        out
+    }
+
+    /// Split a sorted stream into per-session transaction groups using
+    /// [`SessionSplitter::detect`]. The first transaction always opens the
+    /// first group.
+    pub fn split(&self, transactions: &[TlsTransactionRecord]) -> Vec<Vec<TlsTransactionRecord>> {
+        let boundaries = self.detect(transactions);
+        let mut out: Vec<Vec<TlsTransactionRecord>> = Vec::new();
+        for (t, &is_new) in transactions.iter().zip(&boundaries) {
+            if out.is_empty() || is_new {
+                out.push(Vec::new());
+            }
+            out.last_mut().expect("group exists").push(t.clone());
+        }
+        out
+    }
+}
+
+/// A merged stream of back-to-back sessions with per-transaction truth.
+#[derive(Debug, Clone)]
+pub struct BackToBackStream {
+    /// All transactions, sorted by start time.
+    pub transactions: Vec<TlsTransactionRecord>,
+    /// True where the transaction is the first of its session.
+    pub truth_new: Vec<bool>,
+    /// Number of sessions stitched.
+    pub session_count: usize,
+}
+
+/// Simulate `n_sessions` consecutive sessions of one service, as the paper's
+/// "extreme case" where every session is streamed back-to-back (§4.2).
+pub fn stitch_sessions(service: ServiceId, n_sessions: usize, seed: u64) -> BackToBackStream {
+    assert!(n_sessions >= 1, "need at least one session");
+    let traces = TraceCorpus::paper_mix(n_sessions, seed ^ 0x0bac_c000_0001);
+    let mut tagged: Vec<(TlsTransactionRecord, bool)> = Vec::new();
+    let mut offset = 0.0f64;
+    for (i, entry) in traces.entries().iter().enumerate() {
+        let cfg = SessionConfig {
+            service,
+            trace: entry.trace.clone(),
+            kind: entry.kind,
+            watch_duration_s: entry.watch_duration_s,
+            seed: seed.wrapping_mul(0x1_0000_001b_3000 >> 12).wrapping_add(i as u64),
+            capture_packets: false,
+        };
+        let session = simulate_session(&cfg);
+        let mut txs = session.telemetry.tls.into_transactions();
+        txs.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("finite"));
+        let earliest = txs.first().map(|t| t.start_s).unwrap_or(0.0);
+        for (j, mut t) in txs.into_iter().enumerate() {
+            t.start_s += offset;
+            t.end_s += offset;
+            let _ = earliest;
+            tagged.push((t, j == 0));
+        }
+        // The next session begins right after this one's player closed
+        // (back-to-back), with a small click-through gap.
+        offset += session.ground_truth.wall_duration_s.max(1.0) + 0.5;
+    }
+    tagged.sort_by(|a, b| a.0.start_s.partial_cmp(&b.0.start_s).expect("finite"));
+    let truth_new = tagged.iter().map(|(_, n)| *n).collect();
+    let transactions = tagged.into_iter().map(|(t, _)| t).collect();
+    BackToBackStream { transactions, truth_new, session_count: n_sessions }
+}
+
+/// Evaluate the heuristic on a stitched stream: a 2-class confusion matrix
+/// with class 0 = "existing", class 1 = "new" (paper Table 5).
+pub fn evaluate_splitter(stream: &BackToBackStream, params: SessionIdParams) -> ConfusionMatrix {
+    let splitter = SessionSplitter::new(params);
+    let predicted = splitter.detect(&stream.transactions);
+    let mut cm = ConfusionMatrix::new(2);
+    for (&truth, &pred) in stream.truth_new.iter().zip(&predicted) {
+        cm.record(usize::from(truth), usize::from(pred));
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(start: f64, sni: &str) -> TlsTransactionRecord {
+        TlsTransactionRecord {
+            start_s: start,
+            end_s: start + 30.0,
+            up_bytes: 500.0,
+            down_bytes: 50_000.0,
+            sni: Arc::from(sni),
+        }
+    }
+
+    #[test]
+    fn burst_of_new_servers_triggers_boundary() {
+        // Session 1 on hosts a/b, then at t=100 a burst on hosts c/d/e.
+        let stream = vec![
+            tx(0.0, "a"),
+            tx(0.5, "b"),
+            tx(50.0, "a"),
+            tx(100.0, "c"),
+            tx(100.8, "d"),
+            tx(101.5, "e"),
+        ];
+        let det = SessionSplitter::default().detect(&stream);
+        assert!(det[3], "boundary at the burst start: {det:?}");
+        assert!(!det[4] && !det[5], "burst tail is not re-flagged");
+        assert!(!det[1] && !det[2]);
+    }
+
+    #[test]
+    fn same_servers_do_not_split() {
+        // Mid-session burst on already-seen hosts (e.g. quality switch):
+        let stream = vec![
+            tx(0.0, "a"),
+            tx(0.5, "b"),
+            tx(0.9, "c"),
+            tx(60.0, "a"),
+            tx(60.5, "b"),
+            tx(61.0, "c"),
+        ];
+        let det = SessionSplitter::default().detect(&stream);
+        assert!(!det[3] && !det[4] && !det[5], "seen servers must not split: {det:?}");
+    }
+
+    #[test]
+    fn lone_transaction_never_splits() {
+        // Single new-server transaction (CDN redirect) lacks the burst.
+        let stream = vec![tx(0.0, "a"), tx(1.0, "b"), tx(2.0, "c"), tx(90.0, "z")];
+        let det = SessionSplitter::default().detect(&stream);
+        assert!(!det[3], "N=1 cannot exceed N_min=2");
+    }
+
+    #[test]
+    fn split_groups_transactions() {
+        let stream = vec![
+            tx(0.0, "a"),
+            tx(0.4, "b"),
+            tx(0.8, "b2"),
+            tx(100.0, "c"),
+            tx(100.5, "d"),
+            tx(101.0, "e"),
+            tx(130.0, "c"),
+        ];
+        let groups = SessionSplitter::default().split(&stream);
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by start time")]
+    fn unsorted_input_rejected() {
+        let stream = vec![tx(5.0, "a"), tx(1.0, "b")];
+        SessionSplitter::default().detect(&stream);
+    }
+
+    #[test]
+    fn stitched_stream_has_sane_truth() {
+        let stream = stitch_sessions(ServiceId::Svc1, 5, 42);
+        assert_eq!(stream.session_count, 5);
+        assert_eq!(stream.truth_new.iter().filter(|&&b| b).count(), 5);
+        assert!(stream.transactions.len() > 10);
+        for w in stream.transactions.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+        }
+    }
+
+    #[test]
+    fn heuristic_beats_nothing_on_stitched_sessions() {
+        let stream = stitch_sessions(ServiceId::Svc1, 12, 7);
+        let cm = evaluate_splitter(&stream, SessionIdParams::default());
+        // Recall for "new" (class 1) must beat 0.5; false-split rate on
+        // "existing" must stay under 20%.
+        assert!(cm.recall(1) > 0.5, "new-session recall {}", cm.recall(1));
+        assert!(cm.recall(0) > 0.8, "existing recall {}", cm.recall(0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Summary statistics used by both feature families.
+//!
+//! The paper keeps min / median / max per transaction metric, having found
+//! mean and standard deviation "highly correlated to one of the existing
+//! statistics" (§3, footnote 5). The packet family additionally uses mean
+//! and standard deviation.
+
+/// Minimum; 0.0 for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_empty(xs)
+}
+
+/// Maximum; 0.0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_empty(xs)
+}
+
+/// Median (linear interpolation); 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0.0 for an empty slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+trait PipeEmpty {
+    fn pipe_empty(self, xs: &[f64]) -> f64;
+}
+
+impl PipeEmpty for f64 {
+    /// Map the fold identity (±inf on empty input) back to 0.0.
+    fn pipe_empty(self, xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 5.0);
+        assert_eq!(median(&xs), 3.0);
+        assert!((mean(&xs) - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_median_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((std_dev(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! The paper's 38 TLS-transaction features (Table 1).
+//!
+//! | Type | Statistic | Features |
+//! |---|---|---|
+//! | Session level | single value | `SDR_DL`, `SDR_UL`, `SES_DUR`, `TRANS_PER_SEC` |
+//! | Transaction statistics | MIN, MED, MAX | `DL_SIZE`, `UL_SIZE`, `DUR`, `TDR`, `D2U`, `IAT` |
+//! | Temporal statistics | interval based | `CUM_DL_XXs`, `CUM_UL_XXs` |
+//!
+//! Interval endpoints: {30, 60, 120, 240, 480, 720, 960, 1200} seconds, each
+//! measured from session start, with proportional attribution for
+//! transactions partially overlapping an interval (§3). 4 + 18 + 16 = 38.
+
+use dtp_telemetry::TlsTransactionRecord;
+
+use crate::stats;
+
+/// The paper's temporal interval endpoints, in seconds (§3).
+pub const TEMPORAL_INTERVALS_S: [f64; 8] = [30.0, 60.0, 120.0, 240.0, 480.0, 720.0, 960.0, 1200.0];
+
+/// Which subset of Table 1 to extract — the ablation axis of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureGroup {
+    /// Only session-level features (4).
+    SessionLevel,
+    /// Session-level + transaction statistics (22).
+    SessionPlusTransaction,
+    /// The full 38-feature set.
+    Full,
+}
+
+impl FeatureGroup {
+    /// All groups in Table 3's order.
+    pub const ALL: [FeatureGroup; 3] =
+        [FeatureGroup::SessionLevel, FeatureGroup::SessionPlusTransaction, FeatureGroup::Full];
+
+    /// Row label used in Table 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureGroup::SessionLevel => "Only Session-level (SL)",
+            FeatureGroup::SessionPlusTransaction => "SL + Transaction Stats (TS)",
+            FeatureGroup::Full => "SL + TS + Temporal Stats",
+        }
+    }
+
+    /// Number of features in the group (with the default intervals).
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureGroup::SessionLevel => 4,
+            FeatureGroup::SessionPlusTransaction => 22,
+            FeatureGroup::Full => 38,
+        }
+    }
+
+    /// Never zero.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The column names this group keeps (prefix of the full set).
+    pub fn names(&self) -> Vec<String> {
+        tls_feature_names().into_iter().take(self.len()).collect()
+    }
+}
+
+/// Column names for the full 38-feature vector, in extraction order.
+pub fn tls_feature_names() -> Vec<String> {
+    tls_feature_names_with_intervals(&TEMPORAL_INTERVALS_S)
+}
+
+/// Column names with custom temporal intervals (hyperparameter ablation).
+pub fn tls_feature_names_with_intervals(intervals_s: &[f64]) -> Vec<String> {
+    let mut names = vec![
+        "SDR_DL".to_string(),
+        "SDR_UL".to_string(),
+        "SES_DUR".to_string(),
+        "TRANS_PER_SEC".to_string(),
+    ];
+    for metric in ["DL_SIZE", "UL_SIZE", "DUR", "TDR", "D2U", "IAT"] {
+        for stat in ["MIN", "MED", "MAX"] {
+            names.push(format!("{metric}_{stat}"));
+        }
+    }
+    for &iv in intervals_s {
+        names.push(format!("CUM_DL_{}s", iv as u64));
+    }
+    for &iv in intervals_s {
+        names.push(format!("CUM_UL_{}s", iv as u64));
+    }
+    names
+}
+
+/// Extract the full 38-feature vector from a session's TLS transactions.
+///
+/// Transactions need not be sorted. An empty slice yields all zeros (a
+/// session the proxy never saw).
+pub fn extract_tls_features(transactions: &[TlsTransactionRecord]) -> Vec<f64> {
+    extract_tls_features_with_intervals(transactions, &TEMPORAL_INTERVALS_S)
+}
+
+/// Extraction with custom temporal intervals (§3 treats the interval set as
+/// a model hyperparameter an ISP can tune).
+pub fn extract_tls_features_with_intervals(
+    transactions: &[TlsTransactionRecord],
+    intervals_s: &[f64],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(22 + 2 * intervals_s.len());
+    if transactions.is_empty() {
+        out.resize(22 + 2 * intervals_s.len(), 0.0);
+        return out;
+    }
+
+    let t0 = transactions.iter().map(|t| t.start_s).fold(f64::INFINITY, f64::min);
+    let t_end = transactions.iter().map(|t| t.end_s).fold(f64::NEG_INFINITY, f64::max);
+    let ses_dur = (t_end - t0).max(1e-9);
+    let total_dl: f64 = transactions.iter().map(|t| t.down_bytes).sum();
+    let total_ul: f64 = transactions.iter().map(|t| t.up_bytes).sum();
+
+    // --- Session level ---
+    out.push(total_dl * 8.0 / 1000.0 / ses_dur); // SDR_DL (kbps)
+    out.push(total_ul * 8.0 / 1000.0 / ses_dur); // SDR_UL (kbps)
+    out.push(ses_dur); // SES_DUR (s)
+    out.push(transactions.len() as f64 / ses_dur); // TRANS_PER_SEC
+
+    // --- Transaction statistics ---
+    let mut starts: Vec<f64> = transactions.iter().map(|t| t.start_s).collect();
+    starts.sort_by(|a, b| a.partial_cmp(b).expect("finite starts"));
+    let iat: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+
+    let dl: Vec<f64> = transactions.iter().map(|t| t.down_bytes).collect();
+    let ul: Vec<f64> = transactions.iter().map(|t| t.up_bytes).collect();
+    let dur: Vec<f64> = transactions.iter().map(|t| t.duration_s()).collect();
+    let tdr: Vec<f64> = transactions.iter().map(|t| t.tdr_kbps()).collect();
+    let d2u: Vec<f64> = transactions.iter().map(|t| t.d2u_ratio()).collect();
+
+    for series in [&dl, &ul, &dur, &tdr, &d2u, &iat] {
+        out.push(stats::min(series));
+        out.push(stats::median(series));
+        out.push(stats::max(series));
+    }
+
+    // --- Temporal statistics ---
+    // Cumulative bytes in [t0, t0 + XX], attributing each transaction's
+    // bytes proportionally to its overlap with the interval (§3: "we get its
+    // share of downlink and uplink data based on the extent of the overlap").
+    for &iv in intervals_s {
+        out.push(cumulative_bytes(transactions, t0, iv, |t| t.down_bytes));
+    }
+    for &iv in intervals_s {
+        out.push(cumulative_bytes(transactions, t0, iv, |t| t.up_bytes));
+    }
+    debug_assert_eq!(out.len(), 22 + 2 * intervals_s.len());
+    out
+}
+
+fn cumulative_bytes(
+    transactions: &[TlsTransactionRecord],
+    t0: f64,
+    interval_s: f64,
+    bytes: impl Fn(&TlsTransactionRecord) -> f64,
+) -> f64 {
+    let window_end = t0 + interval_s;
+    transactions
+        .iter()
+        .map(|t| {
+            let b = bytes(t);
+            if b <= 0.0 {
+                return 0.0;
+            }
+            let dur = t.duration_s();
+            if dur <= 0.0 {
+                // Instantaneous transaction: counts fully if inside.
+                return if t.start_s <= window_end { b } else { 0.0 };
+            }
+            let overlap = (t.end_s.min(window_end) - t.start_s.max(t0)).max(0.0);
+            b * overlap / dur
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tx(start: f64, end: f64, up: f64, down: f64) -> TlsTransactionRecord {
+        TlsTransactionRecord {
+            start_s: start,
+            end_s: end,
+            up_bytes: up,
+            down_bytes: down,
+            sni: Arc::from("cdn.svc1.example"),
+        }
+    }
+
+    #[test]
+    fn name_count_and_uniqueness() {
+        let names = tls_feature_names();
+        assert_eq!(names.len(), 38);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 38, "names must be unique");
+        assert!(names.contains(&"CUM_DL_60s".to_string()));
+        assert!(names.contains(&"D2U_MED".to_string()));
+    }
+
+    #[test]
+    fn vector_length_matches_names() {
+        let txs = vec![tx(0.0, 10.0, 1000.0, 1_000_000.0)];
+        assert_eq!(extract_tls_features(&txs).len(), 38);
+        assert_eq!(extract_tls_features(&[]).len(), 38);
+    }
+
+    #[test]
+    fn session_level_values() {
+        // Two transactions spanning 100 s, 10 MB down, 10 KB up total.
+        let txs = vec![
+            tx(0.0, 50.0, 5_000.0, 5_000_000.0),
+            tx(50.0, 100.0, 5_000.0, 5_000_000.0),
+        ];
+        let f = extract_tls_features(&txs);
+        let names = tls_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert!((get("SES_DUR") - 100.0).abs() < 1e-9);
+        assert!((get("SDR_DL") - 800.0).abs() < 1e-6); // 10 MB over 100 s = 800 kbps
+        assert!((get("TRANS_PER_SEC") - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transaction_stats_min_med_max() {
+        let txs = vec![
+            tx(0.0, 10.0, 100.0, 1_000.0),
+            tx(20.0, 40.0, 200.0, 2_000.0),
+            tx(50.0, 80.0, 300.0, 6_000.0),
+        ];
+        let f = extract_tls_features(&txs);
+        let names = tls_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("DL_SIZE_MIN"), 1_000.0);
+        assert_eq!(get("DL_SIZE_MED"), 2_000.0);
+        assert_eq!(get("DL_SIZE_MAX"), 6_000.0);
+        assert_eq!(get("DUR_MIN"), 10.0);
+        assert_eq!(get("DUR_MAX"), 30.0);
+        // IAT between starts: 20 and 30.
+        assert_eq!(get("IAT_MIN"), 20.0);
+        assert_eq!(get("IAT_MAX"), 30.0);
+        // D2U = down/up = 10 for every transaction here... except the third (20).
+        assert_eq!(get("D2U_MIN"), 10.0);
+        assert_eq!(get("D2U_MAX"), 20.0);
+    }
+
+    #[test]
+    fn temporal_features_attribute_overlap_proportionally() {
+        // One transaction from 0..120 s carrying 120 KB: exactly 30 KB falls
+        // in the first 30 s, 60 KB in the first 60 s.
+        let txs = vec![tx(0.0, 120.0, 1_200.0, 120_000.0)];
+        let f = extract_tls_features(&txs);
+        let names = tls_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert!((get("CUM_DL_30s") - 30_000.0).abs() < 1e-6);
+        assert!((get("CUM_DL_60s") - 60_000.0).abs() < 1e-6);
+        assert!((get("CUM_DL_120s") - 120_000.0).abs() < 1e-6);
+        assert!((get("CUM_DL_1200s") - 120_000.0).abs() < 1e-6);
+        assert!((get("CUM_UL_30s") - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temporal_features_are_monotone_in_interval() {
+        let txs = vec![
+            tx(0.0, 45.0, 1_000.0, 500_000.0),
+            tx(10.0, 300.0, 9_000.0, 4_000_000.0),
+            tx(200.0, 400.0, 2_000.0, 1_000_000.0),
+        ];
+        let f = extract_tls_features(&txs);
+        // CUM_DL columns are indices 22..30, CUM_UL 30..38.
+        for w in f[22..30].windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "CUM_DL must be monotone: {w:?}");
+        }
+        for w in f[30..38].windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "CUM_UL must be monotone: {w:?}");
+        }
+        // The largest interval captures everything.
+        assert!((f[29] - 5_500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let a = vec![
+            tx(50.0, 100.0, 10.0, 100.0),
+            tx(0.0, 40.0, 10.0, 100.0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(extract_tls_features(&a), extract_tls_features(&b));
+    }
+
+    #[test]
+    fn single_transaction_iat_is_zero() {
+        let txs = vec![tx(5.0, 25.0, 100.0, 10_000.0)];
+        let f = extract_tls_features(&txs);
+        let names = tls_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("IAT_MIN"), 0.0);
+        assert_eq!(get("IAT_MED"), 0.0);
+        assert_eq!(get("IAT_MAX"), 0.0);
+    }
+
+    #[test]
+    fn custom_intervals_change_dimensionality() {
+        let txs = vec![tx(0.0, 10.0, 1.0, 10.0)];
+        let iv = [15.0, 60.0, 600.0];
+        let f = extract_tls_features_with_intervals(&txs, &iv);
+        assert_eq!(f.len(), 22 + 6);
+        assert_eq!(tls_feature_names_with_intervals(&iv).len(), 22 + 6);
+    }
+
+    #[test]
+    fn feature_groups_are_prefixes() {
+        assert_eq!(FeatureGroup::SessionLevel.len(), 4);
+        assert_eq!(FeatureGroup::SessionPlusTransaction.len(), 22);
+        assert_eq!(FeatureGroup::Full.len(), 38);
+        let full = tls_feature_names();
+        for g in FeatureGroup::ALL {
+            assert_eq!(g.names(), full[..g.len()].to_vec());
+        }
+    }
+
+    #[test]
+    fn zero_duration_transaction_counts_in_window() {
+        let txs = vec![tx(10.0, 10.0, 50.0, 500.0), tx(0.0, 5.0, 10.0, 100.0)];
+        let f = extract_tls_features(&txs);
+        let names = tls_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        assert!((get("CUM_DL_30s") - 600.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for feature extraction.
+
+use dtp_features::{
+    extract_flow_features, extract_packet_features, flow_feature_names, packet_feature_names,
+};
+use dtp_telemetry::{Direction, FlowRecord, PacketCapture, PacketRecord};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = PacketRecord> {
+    (
+        0.0f64..600.0,
+        any::<bool>(),
+        66u32..1514,
+        any::<bool>(),
+        proptest::option::of(1.0f64..500.0),
+    )
+        .prop_map(|(ts, up, size, retx, rtt)| PacketRecord {
+            ts_s: ts,
+            dir: if up { Direction::Up } else { Direction::Down },
+            size_bytes: size,
+            is_retransmission: retx,
+            rtt_ms: rtt,
+        })
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (0.0f64..500.0, 0.0f64..300.0, 0.0f64..1e5, 0.0f64..1e8, 0u32..1000, 0u32..50_000).prop_map(
+        |(start, dur, up, down, up_p, down_p)| FlowRecord {
+            start_s: start,
+            end_s: start + dur,
+            up_bytes: up,
+            down_bytes: down,
+            up_packets: up_p,
+            down_packets: down_p,
+            server_port: 443,
+            flow_id: 0,
+        },
+    )
+}
+
+proptest! {
+    /// Packet features are always finite and dimensionally stable,
+    /// regardless of capture contents or ordering.
+    #[test]
+    fn packet_features_always_finite(pkts in proptest::collection::vec(arb_packet(), 0..200)) {
+        let mut cap = PacketCapture::new();
+        for p in pkts {
+            cap.push(p);
+        }
+        cap.sort_by_time();
+        let f = extract_packet_features(&cap);
+        prop_assert_eq!(f.len(), packet_feature_names().len());
+        prop_assert!(f.iter().all(|v| v.is_finite()), "{:?}", f);
+    }
+
+    /// Packet byte totals in the features match the capture exactly.
+    #[test]
+    fn packet_totals_match_capture(pkts in proptest::collection::vec(arb_packet(), 1..200)) {
+        let mut cap = PacketCapture::new();
+        for p in &pkts {
+            cap.push(*p);
+        }
+        cap.sort_by_time();
+        let f = extract_packet_features(&cap);
+        let names = packet_feature_names();
+        let get = |n: &str| f[names.iter().position(|x| x == n).unwrap()];
+        let (up, down) = cap.byte_totals();
+        prop_assert_eq!(get("PKT_TOTAL_UP_BYTES"), up as f64);
+        prop_assert_eq!(get("PKT_TOTAL_DOWN_BYTES"), down as f64);
+        prop_assert_eq!(get("RETX_COUNT"), cap.retransmission_count() as f64);
+    }
+
+    /// Flow features: finite, stable, and periodic export conserves volume
+    /// features (SDR) for any flow set and interval.
+    #[test]
+    fn flow_features_finite_and_volume_conserving(
+        flows in proptest::collection::vec(arb_flow(), 1..30),
+        interval in 5.0f64..120.0,
+    ) {
+        let whole = extract_flow_features(&flows, None);
+        let split = extract_flow_features(&flows, Some(interval));
+        prop_assert_eq!(whole.len(), flow_feature_names().len());
+        prop_assert!(whole.iter().all(|v| v.is_finite()));
+        prop_assert!(split.iter().all(|v| v.is_finite()));
+        // Total downlink volume over the whole span is invariant to export
+        // granularity: compare SDR_DL * SES_DUR.
+        let vol = |f: &[f64]| f[0] * f[2]; // kbps * s
+        let a = vol(&whole);
+        let b = vol(&split);
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()).max(1.0) * 8.0,
+            "volumes differ: {} vs {}", a, b);
+    }
+}

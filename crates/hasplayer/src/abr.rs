@@ -1,0 +1,405 @@
+//! Adaptive-bitrate (ABR) algorithms.
+//!
+//! Three algorithm families cover the behaviours the paper attributes to its
+//! services (§4.1), plus a BOLA-like utility maximizer as an extension:
+//!
+//! * [`RateConservative`] — throughput-driven with a large safety margin;
+//!   drops quality early to keep the (large) buffer full. Svc1's behaviour:
+//!   "attempts to avoid re-buffering by quickly filling the buffer at the
+//!   expense of streaming at low video quality".
+//! * [`BufferSticky`] — holds the current quality until the buffer runs low
+//!   (Svc2: "switch video quality only when the video buffer runs low"),
+//!   starting optimistically high.
+//! * [`Hybrid`] — throughput-driven with a buffer guard (Svc3).
+//! * [`BolaLike`] — buffer-level utility maximization (extension; not used
+//!   by the paper's services but useful for ablations).
+
+use crate::video::Ladder;
+
+/// Inputs available to an ABR decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AbrContext<'a> {
+    /// True until playback has started.
+    pub startup: bool,
+    /// Current buffer level in seconds of playback.
+    pub buffer_s: f64,
+    /// Maximum buffer in seconds.
+    pub buffer_capacity_s: f64,
+    /// Smoothed throughput estimate in kbit/s (0 before the first sample).
+    pub throughput_kbps: f64,
+    /// Level of the previously fetched segment.
+    pub last_level: usize,
+    /// Seconds since the last quality switch.
+    pub time_since_switch_s: f64,
+    /// The title's effective ladder.
+    pub ladder: &'a Ladder,
+}
+
+/// An adaptation algorithm: pick the ladder index for the next segment.
+pub trait Abr {
+    /// Choose the quality level for the next segment.
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize;
+
+    /// Algorithm name for logs and tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Which ABR algorithm a service uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbrKind {
+    /// Svc1-style: conservative rate-based.
+    RateConservative,
+    /// Svc2-style: quality-sticky, buffer-triggered switching.
+    BufferSticky,
+    /// Svc3-style: rate-based with buffer guard.
+    Hybrid,
+    /// Extension: BOLA-like buffer-utility algorithm.
+    BolaLike,
+}
+
+impl AbrKind {
+    /// Instantiate the algorithm.
+    pub fn build(&self) -> Box<dyn Abr + Send> {
+        match self {
+            AbrKind::RateConservative => Box::new(RateConservative::default()),
+            AbrKind::BufferSticky => Box::new(BufferSticky::default()),
+            AbrKind::Hybrid => Box::new(Hybrid::default()),
+            AbrKind::BolaLike => Box::new(BolaLike::default()),
+        }
+    }
+}
+
+/// Svc1-style conservative rate-based ABR.
+///
+/// During startup it streams at the bottom of the ladder to fill the buffer
+/// as fast as possible; afterwards it picks the highest bitrate below a
+/// safety fraction of estimated throughput — a *smaller* fraction while the
+/// buffer is still filling.
+#[derive(Debug, Clone)]
+pub struct RateConservative {
+    /// Safety factor applied while the buffer is below `guard_buffer_s`.
+    pub low_buffer_safety: f64,
+    /// Safety factor once the buffer is comfortable.
+    pub steady_safety: f64,
+    /// Buffer level separating the two regimes.
+    pub guard_buffer_s: f64,
+}
+
+impl Default for RateConservative {
+    fn default() -> Self {
+        Self { low_buffer_safety: 0.5, steady_safety: 0.75, guard_buffer_s: 90.0 }
+    }
+}
+
+impl Abr for RateConservative {
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        if ctx.startup || ctx.throughput_kbps <= 0.0 {
+            // Fill fast and cheap.
+            return 0;
+        }
+        let safety = if ctx.buffer_s < self.guard_buffer_s {
+            self.low_buffer_safety
+        } else {
+            self.steady_safety
+        };
+        ctx.ladder.highest_below(safety * ctx.throughput_kbps)
+    }
+
+    fn name(&self) -> &'static str {
+        "rate-conservative"
+    }
+}
+
+/// Svc2-style sticky ABR.
+///
+/// Quality follows an *optimistic* throughput target on the way up (no
+/// safety margin, so it frequently streams at a bitrate near the link's
+/// capacity), but never downswitches on throughput alone: only buffer
+/// pressure forces a drop, and only at quite low levels. This is exactly the
+/// behaviour the paper attributes to Svc2 — "switch video quality only when
+/// the video buffer runs low" — and why poor networks make it *re-buffer*
+/// rather than degrade quality.
+#[derive(Debug, Clone)]
+pub struct BufferSticky {
+    /// Below this buffer level, drop a rung immediately (no hold).
+    pub panic_buffer_s: f64,
+    /// Below this buffer level, drop one rung.
+    pub low_buffer_s: f64,
+    /// Buffer needed before an upswitch is allowed.
+    pub up_buffer_s: f64,
+    /// Minimum seconds between switches in the same direction.
+    pub hold_s: f64,
+    /// Throughput multiplier for the optimistic target.
+    pub optimism: f64,
+}
+
+impl Default for BufferSticky {
+    fn default() -> Self {
+        Self { panic_buffer_s: 3.0, low_buffer_s: 7.0, up_buffer_s: 18.0, hold_s: 18.0, optimism: 1.0 }
+    }
+}
+
+impl Abr for BufferSticky {
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        let top = ctx.ladder.len() - 1;
+        if ctx.startup {
+            // Optimistic start: believe the first throughput sample fully.
+            if ctx.throughput_kbps <= 0.0 {
+                return top.div_ceil(2);
+            }
+            return ctx.ladder.highest_below(self.optimism * ctx.throughput_kbps);
+        }
+        let cur = ctx.last_level;
+        if ctx.buffer_s < self.panic_buffer_s {
+            // Even in panic Svc2 yields only one rung — it would rather
+            // re-buffer than visibly degrade.
+            return cur.saturating_sub(1);
+        }
+        if ctx.buffer_s < self.low_buffer_s {
+            if ctx.time_since_switch_s >= self.hold_s {
+                return cur.saturating_sub(1);
+            }
+            return cur;
+        }
+        // Comfortable buffer: climb toward the optimistic target, one rung
+        // at a time; never descend on throughput alone (sticky).
+        let target = ctx.ladder.highest_below(self.optimism * ctx.throughput_kbps);
+        if target > cur && ctx.buffer_s >= self.up_buffer_s && ctx.time_since_switch_s >= self.hold_s
+        {
+            return cur + 1;
+        }
+        cur
+    }
+
+    fn name(&self) -> &'static str {
+        "buffer-sticky"
+    }
+}
+
+/// Svc3-style hybrid: rate-based target with a buffer guard and switch
+/// damping.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    /// Safety factor on throughput.
+    pub safety: f64,
+    /// Below this buffer, cap the choice one below the current level.
+    pub guard_buffer_s: f64,
+    /// Minimum seconds between upward switches.
+    pub up_hold_s: f64,
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Self { safety: 0.7, guard_buffer_s: 12.0, up_hold_s: 15.0 }
+    }
+}
+
+impl Abr for Hybrid {
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        if ctx.startup || ctx.throughput_kbps <= 0.0 {
+            return 0;
+        }
+        let mut target = ctx.ladder.highest_below(self.safety * ctx.throughput_kbps);
+        if ctx.buffer_s < self.guard_buffer_s {
+            target = target.min(ctx.last_level.saturating_sub(1));
+        }
+        if target > ctx.last_level && ctx.time_since_switch_s < self.up_hold_s {
+            target = ctx.last_level;
+        }
+        target
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// BOLA-like ABR (extension): picks the level maximizing
+/// `(utility(level) + gamma) / bitrate` where the utility weight shifts with
+/// buffer occupancy. A simplified Lyapunov-style tradeoff, included so
+/// ablation experiments can swap service ABRs.
+#[derive(Debug, Clone)]
+pub struct BolaLike {
+    /// Weight on buffer occupancy (higher = bolder at high buffer).
+    pub gamma: f64,
+}
+
+impl Default for BolaLike {
+    fn default() -> Self {
+        Self { gamma: 0.3 }
+    }
+}
+
+impl Abr for BolaLike {
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> usize {
+        if ctx.startup {
+            return 0;
+        }
+        let occupancy = (ctx.buffer_s / ctx.buffer_capacity_s).clamp(0.0, 1.0);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for l in ctx.ladder.levels() {
+            let utility = (1.0 + l.index as f64).ln();
+            // Downloading must be sustainable unless the buffer is deep.
+            let sustain = if ctx.throughput_kbps > 0.0 {
+                (ctx.throughput_kbps / l.bitrate_kbps).min(2.0)
+            } else {
+                1.0
+            };
+            let score = (utility + self.gamma * occupancy) * sustain.min(1.0 + occupancy);
+            if sustain < 0.9 && occupancy < 0.5 {
+                continue; // unsustainable and shallow buffer: skip
+            }
+            if score > best_score {
+                best_score = score;
+                best = l.index;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "bola-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::Ladder;
+
+    fn ladder() -> Ladder {
+        Ladder::new(&[(240, 400.0), (480, 1200.0), (720, 2800.0), (1080, 5000.0)])
+    }
+
+    fn ctx<'a>(
+        ladder: &'a Ladder,
+        startup: bool,
+        buffer_s: f64,
+        tput: f64,
+        last: usize,
+        since_switch: f64,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            startup,
+            buffer_s,
+            buffer_capacity_s: 240.0,
+            throughput_kbps: tput,
+            last_level: last,
+            time_since_switch_s: since_switch,
+            ladder,
+        }
+    }
+
+    #[test]
+    fn rate_conservative_starts_at_bottom() {
+        let l = ladder();
+        let mut abr = RateConservative::default();
+        assert_eq!(abr.choose(&ctx(&l, true, 0.0, 50_000.0, 0, 0.0)), 0);
+    }
+
+    #[test]
+    fn rate_conservative_is_conservative_at_low_buffer() {
+        let l = ladder();
+        let mut abr = RateConservative::default();
+        // 3000 kbps * 0.5 = 1500 -> level 1; at high buffer 3000*0.75=2250 -> level 1 as well;
+        // use 4000: low buffer -> 2000 (level 1), high buffer -> 3000 (level 2).
+        let lo = abr.choose(&ctx(&l, false, 20.0, 4000.0, 2, 60.0));
+        let hi = abr.choose(&ctx(&l, false, 200.0, 4000.0, 2, 60.0));
+        assert!(lo < hi, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn buffer_sticky_holds_quality_at_mid_buffer() {
+        let l = ladder();
+        let mut abr = BufferSticky::default();
+        // Mid buffer, terrible throughput: still holds.
+        let choice = abr.choose(&ctx(&l, false, 30.0, 100.0, 3, 60.0));
+        assert_eq!(choice, 3);
+    }
+
+    #[test]
+    fn buffer_sticky_drops_when_buffer_low() {
+        let l = ladder();
+        let mut abr = BufferSticky::default();
+        assert_eq!(abr.choose(&ctx(&l, false, 5.0, 100.0, 3, 60.0)), 2);
+        // Panic yields a single rung only — Svc2 prefers stalling.
+        assert_eq!(abr.choose(&ctx(&l, false, 2.0, 100.0, 3, 60.0)), 2);
+        // Panic from level 0 clamps at 0.
+        assert_eq!(abr.choose(&ctx(&l, false, 2.0, 100.0, 0, 60.0)), 0);
+        // Low buffer but recent switch: hold (no cascade).
+        assert_eq!(abr.choose(&ctx(&l, false, 5.0, 100.0, 3, 2.0)), 3);
+    }
+
+    #[test]
+    fn buffer_sticky_never_downswitches_on_throughput_alone() {
+        let l = ladder();
+        let mut abr = BufferSticky::default();
+        // Comfortable buffer, terrible throughput: hold the current level.
+        assert_eq!(abr.choose(&ctx(&l, false, 50.0, 100.0, 3, 60.0)), 3);
+    }
+
+    #[test]
+    fn buffer_sticky_upgrades_only_with_support_and_hold() {
+        let l = ladder();
+        let mut abr = BufferSticky::default();
+        // Deep buffer, throughput supports the top: climb one rung.
+        let up = abr.choose(&ctx(&l, false, 200.0, 6000.0, 2, 60.0));
+        assert_eq!(up, 3);
+        // Same but recent switch: hold.
+        let hold = abr.choose(&ctx(&l, false, 200.0, 6000.0, 2, 5.0));
+        assert_eq!(hold, 2);
+        // Same but throughput below the next rung: hold.
+        let weak = abr.choose(&ctx(&l, false, 200.0, 2000.0, 2, 60.0));
+        assert_eq!(weak, 2);
+    }
+
+    #[test]
+    fn buffer_sticky_startup_is_optimistic() {
+        let l = ladder();
+        let mut abr = BufferSticky::default();
+        let choice = abr.choose(&ctx(&l, true, 0.0, 5000.0, 0, 0.0));
+        assert_eq!(choice, 3, "fully-optimistic start: 5000 kbps supports the top rung");
+        // With no throughput sample yet it starts mid-ladder, not at the bottom.
+        let blind = abr.choose(&ctx(&l, true, 0.0, 0.0, 0, 0.0));
+        assert_eq!(blind, 2);
+    }
+
+    #[test]
+    fn hybrid_guards_low_buffer() {
+        let l = ladder();
+        let mut abr = Hybrid::default();
+        // Plenty of throughput but tiny buffer: capped below current.
+        let c = abr.choose(&ctx(&l, false, 5.0, 10_000.0, 2, 60.0));
+        assert!(c <= 1);
+    }
+
+    #[test]
+    fn hybrid_damps_fast_upswitch() {
+        let l = ladder();
+        let mut abr = Hybrid::default();
+        let c = abr.choose(&ctx(&l, false, 60.0, 10_000.0, 1, 2.0));
+        assert_eq!(c, 1, "recent switch should hold");
+    }
+
+    #[test]
+    fn bola_like_monotone_in_buffer() {
+        let l = ladder();
+        let mut abr = BolaLike::default();
+        let shallow = abr.choose(&ctx(&l, false, 10.0, 1500.0, 1, 60.0));
+        let deep = abr.choose(&ctx(&l, false, 220.0, 1500.0, 1, 60.0));
+        assert!(deep >= shallow);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        for k in [AbrKind::RateConservative, AbrKind::BufferSticky, AbrKind::Hybrid, AbrKind::BolaLike]
+        {
+            let l = ladder();
+            let mut abr = k.build();
+            let c = abr.choose(&ctx(&l, false, 50.0, 2000.0, 1, 60.0));
+            assert!(c < l.len());
+            assert!(!abr.name().is_empty());
+        }
+    }
+}

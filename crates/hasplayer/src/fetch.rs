@@ -1,0 +1,128 @@
+//! The player ↔ network boundary.
+//!
+//! The player issues logical HTTP requests ([`FetchRequest`]) and only cares
+//! about *when the response finishes* ([`FetchOutcome`]). `dtp-core` provides
+//! a fetcher backed by the transport/link simulators that also records
+//! telemetry; unit tests use [`ConstantRateFetcher`].
+
+/// What a request is for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FetchKind {
+    /// Manifest / playlist download at session start.
+    Manifest,
+    /// Video init segment (codec headers), fetched right after the manifest.
+    Init,
+    /// Audio init segment for separate-audio services.
+    AudioInit,
+    /// A media segment at `level` of the ladder.
+    VideoSegment {
+        /// Ladder index of the fetched representation.
+        level: usize,
+        /// Segment index within the title.
+        seg_idx: usize,
+    },
+    /// A separate-track audio segment.
+    AudioSegment {
+        /// Segment index within the title.
+        seg_idx: usize,
+    },
+    /// A telemetry/heartbeat beacon (uplink-heavy).
+    Beacon,
+}
+
+impl FetchKind {
+    /// True for media (video/audio) segment requests.
+    pub fn is_media(&self) -> bool {
+        matches!(self, FetchKind::VideoSegment { .. } | FetchKind::AudioSegment { .. })
+    }
+
+    /// True for session-start bootstrap requests (manifest, init segments).
+    pub fn is_bootstrap(&self) -> bool {
+        matches!(self, FetchKind::Manifest | FetchKind::Init | FetchKind::AudioInit)
+    }
+}
+
+/// A logical HTTP request issued by the player.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchRequest {
+    /// Wall-clock time the request is issued, seconds.
+    pub start_s: f64,
+    /// Request classification.
+    pub kind: FetchKind,
+    /// HTTP request size (headers + body), bytes — uplink.
+    pub request_bytes: f64,
+    /// HTTP response size, bytes — downlink.
+    pub response_bytes: f64,
+}
+
+/// Completion report for a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchOutcome {
+    /// Wall-clock time the last response byte arrived.
+    pub end_s: f64,
+    /// False if the network could not complete the transfer within the
+    /// simulation horizon (the player then abandons the session).
+    pub completed: bool,
+}
+
+/// Downloads requests and reports completion times.
+pub trait SegmentFetcher {
+    /// Perform `req`, returning when it finished.
+    fn fetch(&mut self, req: &FetchRequest) -> FetchOutcome;
+
+    /// The player signals the session is over (the user closed the tab) so
+    /// the fetcher can close or time out its connections.
+    fn session_end(&mut self, _t: f64) {}
+}
+
+/// A fetcher with a fixed download rate and RTT. Test/demo use.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantRateFetcher {
+    /// Download rate in kbit/s.
+    pub kbps: f64,
+    /// Round-trip time in seconds added to every request.
+    pub rtt_s: f64,
+}
+
+impl ConstantRateFetcher {
+    /// A fetcher delivering at `kbps` with a 40 ms RTT.
+    pub fn new(kbps: f64) -> Self {
+        Self { kbps, rtt_s: 0.04 }
+    }
+}
+
+impl SegmentFetcher for ConstantRateFetcher {
+    fn fetch(&mut self, req: &FetchRequest) -> FetchOutcome {
+        assert!(self.kbps > 0.0, "constant fetcher needs positive rate");
+        let transfer_s = req.response_bytes * 8.0 / 1000.0 / self.kbps;
+        FetchOutcome { end_s: req.start_s + self.rtt_s + transfer_s, completed: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fetcher_timing() {
+        let mut f = ConstantRateFetcher { kbps: 8000.0, rtt_s: 0.05 };
+        let req = FetchRequest {
+            start_s: 1.0,
+            kind: FetchKind::Manifest,
+            request_bytes: 500.0,
+            response_bytes: 1_000_000.0,
+        };
+        let out = f.fetch(&req);
+        // 1 MB at 1 MB/s = 1 s, plus RTT.
+        assert!((out.end_s - 2.05).abs() < 1e-9);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn media_kind_classification() {
+        assert!(FetchKind::VideoSegment { level: 0, seg_idx: 0 }.is_media());
+        assert!(FetchKind::AudioSegment { seg_idx: 0 }.is_media());
+        assert!(!FetchKind::Manifest.is_media());
+        assert!(!FetchKind::Beacon.is_media());
+    }
+}

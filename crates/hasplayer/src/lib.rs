@@ -1,0 +1,43 @@
+//! # dtp-hasplayer — HTTP Adaptive Streaming player simulator
+//!
+//! The paper's ground truth comes from real players (browser automation +
+//! HTML5 Video API hooks) streaming from three anonymized services. That
+//! substrate cannot ship, so this crate implements the standard HAS machinery
+//! those players embody (§2 of the paper):
+//!
+//! * videos divided into segments, each encoded at a pre-defined set of
+//!   quality levels ([`video`]),
+//! * a client player that downloads segments over HTTP and adapts quality
+//!   with an ABR algorithm ([`player`], [`abr`]),
+//! * per-second ground-truth QoE — which quality level is on screen, and
+//!   whether playback is stalled ([`qoe`]).
+//!
+//! Three [`service::ServiceProfile`]s mirror the paper's observations about
+//! the anonymized services (§4.1):
+//!
+//! * **Svc1** — large 240 s buffer, ABR that "attempts to avoid re-buffering
+//!   by quickly filling the buffer at the expense of streaming at low video
+//!   quality": poor networks ⇒ low quality, few stalls.
+//! * **Svc2** — small buffer, ABR that "switches video quality only when the
+//!   video buffer runs low": poor networks ⇒ re-buffering.
+//! * **Svc3** — in between, with only three quality levels in its ladder.
+//!
+//! The player is decoupled from the network through the [`fetch::SegmentFetcher`]
+//! trait: `dtp-core` wires it to the `dtp-transport`/`dtp-simnet` stack, and
+//! tests can use [`fetch::ConstantRateFetcher`].
+
+pub mod abr;
+pub mod fetch;
+pub mod mos;
+pub mod player;
+pub mod qoe;
+pub mod service;
+pub mod video;
+
+pub use abr::{Abr, AbrContext, AbrKind};
+pub use fetch::{ConstantRateFetcher, FetchKind, FetchOutcome, FetchRequest, SegmentFetcher};
+pub use mos::MosModel;
+pub use player::{Player, PlayerConfig, SessionTrace};
+pub use qoe::GroundTruth;
+pub use service::{ServiceId, ServiceProfile};
+pub use video::{Genre, Ladder, QualityLevel, VideoAsset, VideoCatalog};

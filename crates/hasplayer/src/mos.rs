@@ -1,0 +1,144 @@
+//! Continuous QoE scoring (mean opinion score), P.1203-inspired.
+//!
+//! The paper estimates *categorical* per-session QoE, but cites the ITU-T
+//! P.1203 family (ref \[26\]) among the QoE models that combine the same
+//! underlying factors — video quality, re-buffering, startup delay, and
+//! quality switches (§2.1). This module provides a simplified continuous
+//! score on the classic 1–5 MOS scale so downstream users can rank sessions
+//! rather than bucket them. It is deliberately *not* a claim of P.1203
+//! compliance: the functional forms are the standard shapes (concave
+//! bitrate utility, exponential stall/startup penalties, per-switch
+//! deduction) with coefficients in the ranges the literature uses.
+
+use crate::qoe::GroundTruth;
+use crate::video::Ladder;
+
+/// Coefficients of the MOS model.
+#[derive(Debug, Clone, Copy)]
+pub struct MosModel {
+    /// Exponent of the concave bitrate utility (0 < a ≤ 1).
+    pub bitrate_exponent: f64,
+    /// MOS points lost per unit of re-buffering ratio (log-scaled).
+    pub stall_weight: f64,
+    /// MOS points lost per second of startup delay (saturating).
+    pub startup_weight: f64,
+    /// MOS points lost per quality switch per minute.
+    pub switch_weight: f64,
+}
+
+impl Default for MosModel {
+    fn default() -> Self {
+        Self { bitrate_exponent: 0.6, stall_weight: 2.2, startup_weight: 0.08, switch_weight: 0.12 }
+    }
+}
+
+impl MosModel {
+    /// Score a session on the 1–5 scale given the title's ladder.
+    ///
+    /// Sessions that never played anything score 1.0.
+    pub fn score(&self, gt: &GroundTruth, ladder: &Ladder) -> f64 {
+        if gt.played_s <= 0.0 {
+            return 1.0;
+        }
+        let bitrates: Vec<f64> = ladder.levels().iter().map(|l| l.bitrate_kbps).collect();
+        let top = bitrates.last().copied().unwrap_or(1.0).max(1.0);
+        let avg = gt.average_bitrate_kbps(&bitrates);
+
+        // Concave quality utility in [0, 1].
+        let quality = (avg / top).clamp(0.0, 1.0).powf(self.bitrate_exponent);
+        let base = 1.0 + 4.0 * quality;
+
+        // Re-buffering penalty: log-shaped so mild stalls already hurt.
+        let rr = gt.rebuffering_ratio();
+        let stall_penalty = self.stall_weight * (1.0 + 30.0 * rr).ln();
+
+        // Startup penalty saturates (users tolerate a few seconds).
+        let startup_penalty = self.startup_weight * gt.startup_delay_s.min(30.0);
+
+        // Switching penalty per minute of playback.
+        let minutes = (gt.played_s / 60.0).max(1.0 / 60.0);
+        let switch_penalty = self.switch_weight * gt.quality_switches as f64 / minutes;
+
+        (base - stall_penalty - startup_penalty - switch_penalty).clamp(1.0, 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qoe::GroundTruth;
+
+    fn ladder() -> Ladder {
+        Ladder::new(&[(240, 400.0), (480, 1200.0), (720, 2800.0), (1080, 5000.0)])
+    }
+
+    fn gt(level_seconds: Vec<f64>, stall: f64, startup: f64, switches: usize) -> GroundTruth {
+        let played: f64 = level_seconds.iter().sum();
+        GroundTruth {
+            startup_delay_s: startup,
+            total_stall_s: stall,
+            played_s: played,
+            wall_duration_s: played + stall + startup,
+            level_seconds,
+            quality_switches: switches,
+            per_second: vec![],
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn perfect_session_scores_high() {
+        let g = gt(vec![0.0, 0.0, 0.0, 300.0], 0.0, 1.0, 0);
+        let mos = MosModel::default().score(&g, &ladder());
+        assert!(mos > 4.5, "mos {mos}");
+    }
+
+    #[test]
+    fn stalls_hurt_more_than_anything() {
+        let clean = gt(vec![0.0, 0.0, 300.0, 0.0], 0.0, 1.0, 0);
+        let stally = gt(vec![0.0, 0.0, 300.0, 0.0], 30.0, 1.0, 0);
+        let m = MosModel::default();
+        let d = m.score(&clean, &ladder()) - m.score(&stally, &ladder());
+        assert!(d > 1.0, "stalls must cost > 1 MOS point, cost {d}");
+    }
+
+    #[test]
+    fn low_bitrate_scores_low() {
+        let low = gt(vec![300.0, 0.0, 0.0, 0.0], 0.0, 1.0, 0);
+        let high = gt(vec![0.0, 0.0, 0.0, 300.0], 0.0, 1.0, 0);
+        let m = MosModel::default();
+        assert!(m.score(&low, &ladder()) < m.score(&high, &ladder()) - 1.0);
+    }
+
+    #[test]
+    fn score_bounded_and_monotone_in_penalties() {
+        let m = MosModel::default();
+        for stall in [0.0, 5.0, 50.0, 500.0] {
+            for startup in [0.0, 10.0, 100.0] {
+                let g = gt(vec![100.0, 0.0, 0.0, 0.0], stall, startup, 10);
+                let s = m.score(&g, &ladder());
+                assert!((1.0..=5.0).contains(&s), "mos {s}");
+            }
+        }
+        // Monotone in stall time (top-quality base so the 1.0 floor does
+        // not clamp the comparison; heavy penalties saturate at the floor).
+        let s0 = m.score(&gt(vec![0.0, 0.0, 0.0, 100.0], 0.0, 1.0, 0), &ladder());
+        let s1 = m.score(&gt(vec![0.0, 0.0, 0.0, 100.0], 2.0, 1.0, 0), &ladder());
+        let s2 = m.score(&gt(vec![0.0, 0.0, 0.0, 100.0], 10.0, 1.0, 0), &ladder());
+        assert!(s0 > s1 && s1 > s2, "{s0} {s1} {s2}");
+    }
+
+    #[test]
+    fn dead_session_is_one() {
+        let g = gt(vec![0.0, 0.0, 0.0, 0.0], 20.0, 30.0, 0);
+        assert_eq!(MosModel::default().score(&g, &ladder()), 1.0);
+    }
+
+    #[test]
+    fn switch_storm_costs_points() {
+        let calm = gt(vec![0.0, 0.0, 120.0, 0.0], 0.0, 1.0, 0);
+        let churny = gt(vec![0.0, 0.0, 120.0, 0.0], 0.0, 1.0, 20);
+        let m = MosModel::default();
+        assert!(m.score(&calm, &ladder()) > m.score(&churny, &ladder()) + 0.5);
+    }
+}

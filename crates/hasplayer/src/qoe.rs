@@ -1,0 +1,157 @@
+//! Ground-truth QoE, as the paper's instrumentation collected it.
+//!
+//! The paper injects JavaScript into the player page to log re-buffering via
+//! the HTML5 Video API and quality via service-specific hooks, *per second*
+//! (§4.1). The simulated player produces the same signal: a [`PlayState`]
+//! sample per wall-clock second plus exact aggregates.
+
+/// What the screen shows during one second of wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlayState {
+    /// Player is still buffering toward first frame.
+    Startup,
+    /// Content is playing at the given ladder level.
+    Playing {
+        /// Ladder index on screen.
+        level: usize,
+    },
+    /// Playback is stalled (buffer underrun).
+    Stalled,
+}
+
+/// Per-session ground truth collected by the (simulated) client-side hooks.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Seconds from session start to first frame.
+    pub startup_delay_s: f64,
+    /// Total mid-playback stall time, seconds.
+    pub total_stall_s: f64,
+    /// Content seconds actually played.
+    pub played_s: f64,
+    /// Wall-clock session length, seconds.
+    pub wall_duration_s: f64,
+    /// Playback seconds attributed to each ladder level.
+    pub level_seconds: Vec<f64>,
+    /// Number of quality switches across fetched segments.
+    pub quality_switches: usize,
+    /// One sample per wall-clock second.
+    pub per_second: Vec<PlayState>,
+    /// True if the network never delivered and the session was abandoned.
+    pub aborted: bool,
+}
+
+impl GroundTruth {
+    /// Re-buffering ratio: "stall time in proportion to the total playback
+    /// time" (paper §2.1). Zero-playback sessions with any stall time count
+    /// as fully stalled (ratio 1.0).
+    pub fn rebuffering_ratio(&self) -> f64 {
+        if self.played_s <= 0.0 {
+            return if self.total_stall_s > 0.0 { 1.0 } else { 0.0 };
+        }
+        self.total_stall_s / self.played_s
+    }
+
+    /// Ladder index with the most playback seconds; ties go to the *lower*
+    /// level, matching the paper's tie-break toward the lower category.
+    /// `None` if nothing played.
+    pub fn majority_level(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &secs) in self.level_seconds.iter().enumerate() {
+            if secs <= 0.0 {
+                continue;
+            }
+            match best {
+                None => best = Some((idx, secs)),
+                Some((_, b)) if secs > b => best = Some((idx, secs)),
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Time-average playback bitrate in kbit/s given a ladder's per-level
+    /// bitrates. Zero if nothing played.
+    pub fn average_bitrate_kbps(&self, level_bitrates_kbps: &[f64]) -> f64 {
+        assert!(
+            level_bitrates_kbps.len() >= self.level_seconds.len(),
+            "bitrate table shorter than ladder"
+        );
+        if self.played_s <= 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .level_seconds
+            .iter()
+            .zip(level_bitrates_kbps)
+            .map(|(s, b)| s * b)
+            .sum();
+        weighted / self.played_s
+    }
+
+    /// Fraction of wall-clock seconds that were stalled (startup excluded).
+    pub fn stalled_second_fraction(&self) -> f64 {
+        if self.per_second.is_empty() {
+            return 0.0;
+        }
+        let stalled = self.per_second.iter().filter(|s| matches!(s, PlayState::Stalled)).count();
+        stalled as f64 / self.per_second.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(stall: f64, played: f64, levels: Vec<f64>) -> GroundTruth {
+        GroundTruth {
+            startup_delay_s: 1.0,
+            total_stall_s: stall,
+            played_s: played,
+            wall_duration_s: played + stall + 1.0,
+            level_seconds: levels,
+            quality_switches: 0,
+            per_second: vec![],
+            aborted: false,
+        }
+    }
+
+    #[test]
+    fn rebuffering_ratio_basic() {
+        assert_eq!(gt(0.0, 100.0, vec![100.0]).rebuffering_ratio(), 0.0);
+        assert!((gt(2.0, 100.0, vec![100.0]).rebuffering_ratio() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuffering_ratio_degenerate_sessions() {
+        assert_eq!(gt(5.0, 0.0, vec![]).rebuffering_ratio(), 1.0);
+        assert_eq!(gt(0.0, 0.0, vec![]).rebuffering_ratio(), 0.0);
+    }
+
+    #[test]
+    fn majority_level_breaks_ties_low() {
+        let g = gt(0.0, 20.0, vec![10.0, 10.0]);
+        assert_eq!(g.majority_level(), Some(0));
+        let g = gt(0.0, 30.0, vec![10.0, 20.0]);
+        assert_eq!(g.majority_level(), Some(1));
+        assert_eq!(gt(0.0, 0.0, vec![0.0, 0.0]).majority_level(), None);
+    }
+
+    #[test]
+    fn average_bitrate_weighted() {
+        let g = gt(0.0, 20.0, vec![10.0, 10.0]);
+        let avg = g.average_bitrate_kbps(&[1000.0, 3000.0]);
+        assert!((avg - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalled_fraction_counts_samples() {
+        let mut g = gt(1.0, 3.0, vec![3.0]);
+        g.per_second = vec![
+            PlayState::Startup,
+            PlayState::Playing { level: 0 },
+            PlayState::Stalled,
+            PlayState::Playing { level: 0 },
+        ];
+        assert!((g.stalled_second_fraction() - 0.25).abs() < 1e-12);
+    }
+}

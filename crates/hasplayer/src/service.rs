@@ -1,0 +1,199 @@
+//! Service profiles mirroring the paper's anonymized Svc1/Svc2/Svc3.
+//!
+//! The paper attributes the asymmetry in which QoE metric degrades per
+//! service to service design (§4.1): Svc1 runs a 240 s buffer and an ABR
+//! that trades quality for stall avoidance; Svc2 holds quality until the
+//! buffer runs low (and therefore stalls); Svc3 sits in between and exposes
+//! only three quality levels. These profiles encode exactly those causes.
+
+use crate::abr::AbrKind;
+use crate::video::Ladder;
+
+/// Which of the paper's three anonymized services a session belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceId {
+    /// Large-buffer, quality-sacrificing service.
+    Svc1,
+    /// Quality-sticky service that stalls under pressure.
+    Svc2,
+    /// Intermediate service with a three-rung ladder.
+    Svc3,
+}
+
+impl ServiceId {
+    /// All services, in a stable order.
+    pub const ALL: [ServiceId; 3] = [ServiceId::Svc1, ServiceId::Svc2, ServiceId::Svc3];
+
+    /// Human-readable name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceId::Svc1 => "Svc1",
+            ServiceId::Svc2 => "Svc2",
+            ServiceId::Svc3 => "Svc3",
+        }
+    }
+}
+
+/// Resolution thresholds that bucket ladder rungs into low/medium/high
+/// (paper §4.1: Svc1 — ≤288p low, ≤480p medium; Svc2 — ≤360p low, 480p
+/// medium, ≥720p high; Svc3 — three levels map one-to-one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityThresholds {
+    /// Resolutions at or below this are "low".
+    pub low_max_p: u32,
+    /// Resolutions at or below this (and above `low_max_p`) are "medium".
+    pub med_max_p: u32,
+}
+
+/// Player-side behaviour of a streaming service.
+#[derive(Debug, Clone)]
+pub struct ServiceProfile {
+    /// Which service this is.
+    pub id: ServiceId,
+    /// The service's nominal encoding ladder.
+    pub ladder: Ladder,
+    /// Segment duration in seconds.
+    pub segment_duration_s: f64,
+    /// Maximum buffered playback, seconds.
+    pub buffer_capacity_s: f64,
+    /// Playback starts once this much is buffered.
+    pub startup_buffer_s: f64,
+    /// After a stall, playback resumes once this much is buffered.
+    pub resume_buffer_s: f64,
+    /// The adaptation algorithm.
+    pub abr: AbrKind,
+    /// EWMA coefficient for the throughput estimator (higher = reacts faster).
+    pub tput_alpha: f64,
+    /// Manifest response size in bytes.
+    pub manifest_bytes: f64,
+    /// Whether audio is fetched as separate segments (vs muxed).
+    pub separate_audio: bool,
+    /// Audio bitrate in kbit/s when `separate_audio`.
+    pub audio_kbps: f64,
+    /// Telemetry-beacon interval in seconds (0 disables beacons).
+    pub beacon_interval_s: f64,
+    /// Beacon uplink payload bytes.
+    pub beacon_up_bytes: f64,
+    /// Beacon downlink response bytes.
+    pub beacon_down_bytes: f64,
+    /// Quality category thresholds for this service.
+    pub thresholds: QualityThresholds,
+}
+
+impl ServiceProfile {
+    /// The profile for a given service id.
+    pub fn of(id: ServiceId) -> Self {
+        match id {
+            ServiceId::Svc1 => Self {
+                id,
+                ladder: Ladder::new(&[
+                    (144, 120.0),
+                    (240, 280.0),
+                    (288, 450.0),
+                    (360, 750.0),
+                    (480, 1200.0),
+                    (720, 2700.0),
+                    (1080, 5000.0),
+                ]),
+                segment_duration_s: 5.0,
+                buffer_capacity_s: 240.0,
+                startup_buffer_s: 6.0,
+                resume_buffer_s: 5.0,
+                abr: AbrKind::RateConservative,
+                tput_alpha: 0.4,
+                manifest_bytes: 60_000.0,
+                separate_audio: false,
+                audio_kbps: 0.0,
+                beacon_interval_s: 30.0,
+                beacon_up_bytes: 2_500.0,
+                beacon_down_bytes: 400.0,
+                thresholds: QualityThresholds { low_max_p: 288, med_max_p: 480 },
+            },
+            ServiceId::Svc2 => Self {
+                id,
+                ladder: Ladder::new(&[
+                    (240, 235.0),
+                    (360, 560.0),
+                    (480, 1050.0),
+                    (720, 2350.0),
+                    (1080, 4300.0),
+                ]),
+                segment_duration_s: 4.0,
+                buffer_capacity_s: 60.0,
+                startup_buffer_s: 8.0,
+                resume_buffer_s: 6.0,
+                abr: AbrKind::BufferSticky,
+                tput_alpha: 0.15,
+                manifest_bytes: 120_000.0,
+                separate_audio: true,
+                audio_kbps: 96.0,
+                beacon_interval_s: 60.0,
+                beacon_up_bytes: 4_000.0,
+                beacon_down_bytes: 300.0,
+                thresholds: QualityThresholds { low_max_p: 360, med_max_p: 480 },
+            },
+            ServiceId::Svc3 => Self {
+                id,
+                ladder: Ladder::new(&[(360, 900.0), (720, 1700.0), (1080, 3000.0)]),
+                segment_duration_s: 6.0,
+                buffer_capacity_s: 90.0,
+                startup_buffer_s: 8.0,
+                resume_buffer_s: 6.0,
+                abr: AbrKind::Hybrid,
+                tput_alpha: 0.25,
+                manifest_bytes: 80_000.0,
+                separate_audio: true,
+                audio_kbps: 128.0,
+                beacon_interval_s: 45.0,
+                beacon_up_bytes: 3_000.0,
+                beacon_down_bytes: 350.0,
+                thresholds: QualityThresholds { low_max_p: 360, med_max_p: 720 },
+            },
+        }
+    }
+
+    /// Number of videos the paper curated per service (50–75).
+    pub fn catalog_size(&self) -> usize {
+        match self.id {
+            ServiceId::Svc1 => 75,
+            ServiceId::Svc2 => 60,
+            ServiceId::Svc3 => 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_reflect_paper_design() {
+        let s1 = ServiceProfile::of(ServiceId::Svc1);
+        let s2 = ServiceProfile::of(ServiceId::Svc2);
+        let s3 = ServiceProfile::of(ServiceId::Svc3);
+        // Svc1 has the large 240 s buffer the paper reports.
+        assert_eq!(s1.buffer_capacity_s, 240.0);
+        assert!(s1.buffer_capacity_s > s2.buffer_capacity_s);
+        assert!(s1.buffer_capacity_s > s3.buffer_capacity_s);
+        // Svc3 exposes exactly three quality levels.
+        assert_eq!(s3.ladder.len(), 3);
+        // Distinct ABRs.
+        assert_ne!(s1.abr, s2.abr);
+        assert_ne!(s2.abr, s3.abr);
+    }
+
+    #[test]
+    fn catalog_sizes_in_paper_range() {
+        for id in ServiceId::ALL {
+            let n = ServiceProfile::of(id).catalog_size();
+            assert!((50..=75).contains(&n));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ServiceId::Svc1.name(), "Svc1");
+        assert_eq!(ServiceId::Svc2.name(), "Svc2");
+        assert_eq!(ServiceId::Svc3.name(), "Svc3");
+    }
+}

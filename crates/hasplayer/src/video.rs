@@ -1,0 +1,350 @@
+//! Video assets: quality ladders, genres, per-segment VBR sizes.
+//!
+//! The paper curates "a list of 50-75 videos for each service including
+//! content from different genres such as animation, sports, and news"
+//! (§4.1). [`VideoCatalog::generate`] builds such a catalog; genre and a
+//! per-title encoding factor perturb the nominal ladder bitrates so two
+//! sessions at the same quality category can transfer noticeably different
+//! byte counts — one of the reasons QoE is only *statistically* inferable
+//! from volume data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One rung of an encoding ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityLevel {
+    /// Position in the ladder, 0 = lowest quality.
+    pub index: usize,
+    /// Vertical resolution in lines (e.g. 480 for "480p").
+    pub resolution_p: u32,
+    /// Nominal encoding bitrate in kbit/s.
+    pub bitrate_kbps: f64,
+}
+
+/// An ordered set of quality levels (ascending bitrate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ladder {
+    levels: Vec<QualityLevel>,
+}
+
+impl Ladder {
+    /// Build a ladder from `(resolution_p, bitrate_kbps)` rungs, ascending.
+    ///
+    /// # Panics
+    /// Panics if fewer than two rungs are supplied or bitrates are not
+    /// strictly ascending.
+    pub fn new(rungs: &[(u32, f64)]) -> Self {
+        assert!(rungs.len() >= 2, "a ladder needs at least two levels");
+        assert!(
+            rungs.windows(2).all(|w| w[0].1 < w[1].1),
+            "ladder bitrates must be strictly ascending"
+        );
+        let levels = rungs
+            .iter()
+            .enumerate()
+            .map(|(index, &(resolution_p, bitrate_kbps))| QualityLevel {
+                index,
+                resolution_p,
+                bitrate_kbps,
+            })
+            .collect();
+        Self { levels }
+    }
+
+    /// All levels, ascending bitrate.
+    pub fn levels(&self) -> &[QualityLevel] {
+        &self.levels
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Always false — ladders have ≥ 2 rungs by construction.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The level at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn level(&self, index: usize) -> QualityLevel {
+        self.levels[index]
+    }
+
+    /// Index of the highest level whose bitrate is ≤ `kbps`, or 0.
+    pub fn highest_below(&self, kbps: f64) -> usize {
+        self.levels
+            .iter()
+            .rev()
+            .find(|l| l.bitrate_kbps <= kbps)
+            .map(|l| l.index)
+            .unwrap_or(0)
+    }
+
+    /// Multiply every rung's bitrate by `factor` (per-title encoding jitter).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        Self {
+            levels: self
+                .levels
+                .iter()
+                .map(|l| QualityLevel { bitrate_kbps: l.bitrate_kbps * factor, ..*l })
+                .collect(),
+        }
+    }
+}
+
+/// Content genre; drives encoding complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Genre {
+    /// Flat regions, compresses very well.
+    Animation,
+    /// High motion, hardest to compress.
+    Sports,
+    /// Talking heads, easy.
+    News,
+    /// Typical film/TV content.
+    Drama,
+    /// Nature/documentary, mixed.
+    Documentary,
+}
+
+impl Genre {
+    /// All genres, in a stable order.
+    pub const ALL: [Genre; 5] =
+        [Genre::Animation, Genre::Sports, Genre::News, Genre::Drama, Genre::Documentary];
+
+    /// Multiplier applied to ladder bitrates for this genre.
+    pub fn encoding_factor(&self) -> f64 {
+        match self {
+            Genre::Animation => 0.55,
+            Genre::Sports => 1.45,
+            Genre::News => 0.75,
+            Genre::Drama => 1.00,
+            Genre::Documentary => 1.20,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Genre::Animation => "animation",
+            Genre::Sports => "sports",
+            Genre::News => "news",
+            Genre::Drama => "drama",
+            Genre::Documentary => "documentary",
+        }
+    }
+}
+
+/// One title in a service's catalog.
+#[derive(Debug, Clone)]
+pub struct VideoAsset {
+    /// Catalog-unique id.
+    pub id: u32,
+    /// Content genre.
+    pub genre: Genre,
+    /// Content length in seconds.
+    pub duration_s: f64,
+    /// Segment duration in seconds (service-wide in practice).
+    pub segment_duration_s: f64,
+    /// The effective ladder for this title (after genre/title factors).
+    pub ladder: Ladder,
+    /// Seed for per-segment VBR size jitter.
+    vbr_seed: u64,
+}
+
+impl VideoAsset {
+    /// Number of segments in the title.
+    pub fn segment_count(&self) -> usize {
+        (self.duration_s / self.segment_duration_s).ceil() as usize
+    }
+
+    /// Size in bytes of segment `seg_idx` at ladder level `level`.
+    ///
+    /// Deterministic: the same (title, level, segment) always yields the same
+    /// size. VBR jitter is log-normal-ish with ~20% spread around the nominal
+    /// `bitrate * segment_duration`.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn segment_bytes(&self, level: usize, seg_idx: usize) -> f64 {
+        let l = self.ladder.level(level);
+        let nominal = l.bitrate_kbps * 125.0 * self.segment_duration_s;
+        // Cheap deterministic per-segment jitter: hash -> uniform -> two
+        // uniforms summed approximate a triangular distribution around 1.0.
+        let h = splitmix64(
+            self.vbr_seed ^ ((level as u64) << 32) ^ (seg_idx as u64).wrapping_mul(0x9e3779b1),
+        );
+        let u1 = (h & 0xffff_ffff) as f64 / u32::MAX as f64;
+        let u2 = (h >> 32) as f64 / u32::MAX as f64;
+        let jitter = 0.8 + 0.4 * (u1 + u2) / 2.0; // in [0.8, 1.2], mean 1.0
+        nominal * jitter
+    }
+
+    /// The last segment may be shorter than `segment_duration_s`.
+    pub fn segment_playback_s(&self, seg_idx: usize) -> f64 {
+        let start = seg_idx as f64 * self.segment_duration_s;
+        (self.duration_s - start).clamp(0.0, self.segment_duration_s)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A service's curated list of titles (50–75 per the paper).
+#[derive(Debug, Clone)]
+pub struct VideoCatalog {
+    assets: Vec<VideoAsset>,
+}
+
+impl VideoCatalog {
+    /// Generate a catalog of `n` titles on `base_ladder` with the given
+    /// segment duration. Titles get a genre, a ±15% per-title encoding
+    /// factor, and a duration between 2 minutes (shorts/news) and 45 minutes
+    /// (episodes).
+    pub fn generate(n: usize, base_ladder: &Ladder, segment_duration_s: f64, seed: u64) -> Self {
+        assert!(n > 0, "catalog must have at least one title");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee5_5ee5_5ee5_5ee5);
+        let assets = (0..n)
+            .map(|i| {
+                let genre = Genre::ALL[rng.random_range(0..Genre::ALL.len())];
+                let title_factor = rng.random_range(0.75..1.30);
+                let ladder = base_ladder.scaled(genre.encoding_factor() * title_factor);
+                let duration_s = rng.random_range(120.0..2700.0);
+                VideoAsset {
+                    id: i as u32,
+                    genre,
+                    duration_s,
+                    segment_duration_s,
+                    ladder,
+                    vbr_seed: splitmix64(seed ^ (i as u64) << 8),
+                }
+            })
+            .collect();
+        Self { assets }
+    }
+
+    /// All titles.
+    pub fn assets(&self) -> &[VideoAsset] {
+        &self.assets
+    }
+
+    /// Number of titles.
+    pub fn len(&self) -> usize {
+        self.assets.len()
+    }
+
+    /// Whether the catalog is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.assets.is_empty()
+    }
+
+    /// Pick a title deterministically by an external draw.
+    pub fn pick(&self, draw: u64) -> &VideoAsset {
+        &self.assets[(splitmix64(draw) % self.assets.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Ladder {
+        Ladder::new(&[(240, 400.0), (480, 1200.0), (720, 2800.0), (1080, 5000.0)])
+    }
+
+    #[test]
+    fn ladder_lookup() {
+        let l = ladder();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.level(2).resolution_p, 720);
+        assert_eq!(l.highest_below(3000.0), 2);
+        assert_eq!(l.highest_below(1_000_000.0), 3);
+        assert_eq!(l.highest_below(100.0), 0, "below lowest clamps to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn non_ascending_ladder_panics() {
+        Ladder::new(&[(240, 1200.0), (480, 400.0)]);
+    }
+
+    #[test]
+    fn scaled_ladder_keeps_resolutions() {
+        let l = ladder().scaled(2.0);
+        assert_eq!(l.level(0).bitrate_kbps, 800.0);
+        assert_eq!(l.level(0).resolution_p, 240);
+    }
+
+    #[test]
+    fn segment_bytes_deterministic_and_near_nominal() {
+        let cat = VideoCatalog::generate(10, &ladder(), 4.0, 42);
+        let a = &cat.assets()[0];
+        let b1 = a.segment_bytes(1, 5);
+        let b2 = a.segment_bytes(1, 5);
+        assert_eq!(b1, b2);
+        let nominal = a.ladder.level(1).bitrate_kbps * 125.0 * 4.0;
+        assert!(b1 > nominal * 0.75 && b1 < nominal * 1.25, "b1={b1} nominal={nominal}");
+    }
+
+    #[test]
+    fn segment_bytes_vary_across_segments() {
+        let cat = VideoCatalog::generate(3, &ladder(), 4.0, 7);
+        let a = &cat.assets()[0];
+        let sizes: Vec<f64> = (0..20).map(|i| a.segment_bytes(2, i)).collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "VBR jitter should vary sizes: {min}..{max}");
+    }
+
+    #[test]
+    fn higher_level_is_bigger() {
+        let cat = VideoCatalog::generate(3, &ladder(), 4.0, 7);
+        let a = &cat.assets()[0];
+        for i in 0..10 {
+            assert!(a.segment_bytes(3, i) > a.segment_bytes(0, i));
+        }
+    }
+
+    #[test]
+    fn last_segment_playback_clamped() {
+        let cat = VideoCatalog::generate(1, &ladder(), 4.0, 1);
+        let a = &cat.assets()[0];
+        let last = a.segment_count() - 1;
+        let s = a.segment_playback_s(last);
+        assert!(s > 0.0 && s <= 4.0);
+        assert_eq!(a.segment_playback_s(0), 4.0);
+    }
+
+    #[test]
+    fn catalog_sizes_and_determinism() {
+        let c1 = VideoCatalog::generate(60, &ladder(), 4.0, 9);
+        let c2 = VideoCatalog::generate(60, &ladder(), 4.0, 9);
+        assert_eq!(c1.len(), 60);
+        assert_eq!(c1.assets()[10].duration_s, c2.assets()[10].duration_s);
+        // Genres should be diverse.
+        let genres: std::collections::HashSet<_> =
+            c1.assets().iter().map(|a| a.genre.name()).collect();
+        assert!(genres.len() >= 3);
+    }
+
+    #[test]
+    fn pick_is_in_range_and_deterministic() {
+        let c = VideoCatalog::generate(5, &ladder(), 4.0, 3);
+        for d in 0..50u64 {
+            let a = c.pick(d);
+            assert!((a.id as usize) < 5);
+            assert_eq!(a.id, c.pick(d).id);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the player substrate.
+
+use dtp_hasplayer::abr::{AbrContext, AbrKind};
+use dtp_hasplayer::fetch::{FetchOutcome, FetchRequest, SegmentFetcher};
+use dtp_hasplayer::player::{Player, PlayerConfig};
+use dtp_hasplayer::service::{ServiceId, ServiceProfile};
+use dtp_hasplayer::video::{Ladder, VideoCatalog};
+use proptest::prelude::*;
+
+fn arb_abr() -> impl Strategy<Value = AbrKind> {
+    prop_oneof![
+        Just(AbrKind::RateConservative),
+        Just(AbrKind::BufferSticky),
+        Just(AbrKind::Hybrid),
+        Just(AbrKind::BolaLike),
+    ]
+}
+
+proptest! {
+    /// Every ABR keeps its choice inside the ladder for any context.
+    #[test]
+    fn abr_choice_always_in_ladder(
+        kind in arb_abr(),
+        startup in any::<bool>(),
+        buffer in 0.0f64..300.0,
+        tput in 0.0f64..100_000.0,
+        last in 0usize..4,
+        since in 0.0f64..600.0,
+    ) {
+        let ladder = Ladder::new(&[(240, 400.0), (480, 1200.0), (720, 2800.0), (1080, 5000.0)]);
+        let mut abr = kind.build();
+        let choice = abr.choose(&AbrContext {
+            startup,
+            buffer_s: buffer,
+            buffer_capacity_s: 300.0,
+            throughput_kbps: tput,
+            last_level: last,
+            time_since_switch_s: since,
+            ladder: &ladder,
+        });
+        prop_assert!(choice < ladder.len());
+    }
+
+    /// Catalog segment sizes are positive, finite, and monotone in level.
+    #[test]
+    fn segment_sizes_well_formed(seed in 0u64..500, level_pair in (0usize..3, 0usize..3)) {
+        let ladder = Ladder::new(&[(360, 600.0), (720, 1800.0), (1080, 3600.0)]);
+        let cat = VideoCatalog::generate(8, &ladder, 4.0, seed);
+        let a = &cat.assets()[(seed % 8) as usize];
+        let (l1, l2) = level_pair;
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        for seg in 0..a.segment_count().min(30) {
+            let b_lo = a.segment_bytes(lo, seg);
+            let b_hi = a.segment_bytes(hi, seg);
+            prop_assert!(b_lo.is_finite() && b_lo > 0.0);
+            if hi > lo {
+                // VBR jitter is ±20%, level gaps are ≥2x: ordering holds.
+                prop_assert!(b_hi > b_lo, "seg {}: {} !> {}", seg, b_hi, b_lo);
+            }
+        }
+    }
+
+    /// Playback invariants hold even with adversarial fetch timing: a
+    /// fetcher that answers with arbitrary (but causal) delays.
+    #[test]
+    fn player_invariants_with_jittery_network(
+        svc in 0usize..3,
+        watch in 20.0f64..200.0,
+        delays in proptest::collection::vec(0.01f64..8.0, 1..30),
+    ) {
+        struct JitterFetcher {
+            delays: Vec<f64>,
+            i: usize,
+        }
+        impl SegmentFetcher for JitterFetcher {
+            fn fetch(&mut self, req: &FetchRequest) -> FetchOutcome {
+                let d = self.delays[self.i % self.delays.len()];
+                self.i += 1;
+                FetchOutcome { end_s: req.start_s + d, completed: true }
+            }
+        }
+        let profile = ServiceProfile::of(ServiceId::ALL[svc]);
+        let catalog = VideoCatalog::generate(3, &profile.ladder, profile.segment_duration_s, 7);
+        let asset = catalog.assets()[0].clone();
+        let player = Player::new(PlayerConfig::new(profile, watch));
+        let mut fetcher = JitterFetcher { delays, i: 0 };
+        let tr = player.play(&asset, &mut fetcher);
+        let gt = &tr.ground_truth;
+        prop_assert!(gt.wall_duration_s <= watch + 1e-6);
+        prop_assert!(gt.played_s >= 0.0 && gt.total_stall_s >= 0.0);
+        prop_assert!(gt.played_s + gt.total_stall_s + gt.startup_delay_s <= gt.wall_duration_s + 1e-6);
+        prop_assert!(gt.played_s <= asset.duration_s + 1e-6);
+        // Blocking (non-beacon) requests are causally ordered; beacons are
+        // backdated to their scheduled fire time because they ride alongside
+        // media downloads rather than blocking them.
+        let blocking: Vec<_> = tr
+            .requests
+            .iter()
+            .filter(|r| !matches!(r.request.kind, dtp_hasplayer::fetch::FetchKind::Beacon))
+            .collect();
+        for w in blocking.windows(2) {
+            prop_assert!(w[1].request.start_s >= w[0].request.start_s - 1e-9);
+        }
+        for r in &tr.requests {
+            prop_assert!(r.request.start_s >= 0.0);
+            prop_assert!(r.request.start_s <= watch + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Stratified k-fold cross-validation, the paper's evaluation protocol
+//! ("we use 5-fold cross validation for evaluating accuracy", §4.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::Classifier;
+
+/// Produce `k` stratified folds: each fold's class mix approximates the
+/// whole dataset's. Returns `(train_indices, test_indices)` per fold.
+///
+/// # Panics
+/// Panics if `k < 2`. Classes smaller than `k` are spread over the first
+/// folds; the affected training folds then simply lack that class.
+pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf01d_0000_0004);
+    let mut fold_of = vec![0usize; labels.len()];
+    for class_indices in &mut per_class {
+        if class_indices.is_empty() {
+            continue;
+        }
+        // Classes smaller than k simply land in the first few folds; some
+        // training folds may then lack the class entirely, which the models
+        // tolerate (they just never predict it there).
+        class_indices.shuffle(&mut rng);
+        for (pos, &i) in class_indices.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &fi) in fold_of.iter().enumerate() {
+                if fi == f {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Aggregated cross-validation output.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Confusion matrix accumulated over all test folds.
+    pub confusion: ConfusionMatrix,
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Feature importances averaged over folds (when the model exposes them).
+    pub importances: Option<Vec<f64>>,
+}
+
+impl CvResult {
+    /// Overall accuracy across all folds.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+}
+
+/// Run k-fold cross-validation, building a fresh model per fold via
+/// `factory`. Models see raw features; apply scaling inside the factory's
+/// model if needed (tree models — the paper's winner — don't need it).
+pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, factory: F) -> CvResult
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    let folds = stratified_kfold(&dataset.labels, k, seed);
+    let mut confusion = ConfusionMatrix::new(dataset.n_classes);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut importance_acc: Option<Vec<f64>> = None;
+    let mut importance_folds = 0usize;
+
+    for (train_idx, test_idx) in &folds {
+        let train = dataset.subset(train_idx);
+        let mut model = factory();
+        model.fit(&train.features, &train.labels, dataset.n_classes);
+
+        let mut fold_cm = ConfusionMatrix::new(dataset.n_classes);
+        for &i in test_idx {
+            let pred = model.predict(&dataset.features[i]);
+            fold_cm.record(dataset.labels[i], pred);
+        }
+        fold_accuracies.push(fold_cm.accuracy());
+        confusion.merge(&fold_cm);
+
+        if let Some(imp) = model.feature_importances() {
+            match &mut importance_acc {
+                None => importance_acc = Some(imp),
+                Some(acc) => {
+                    for (a, v) in acc.iter_mut().zip(&imp) {
+                        *a += v;
+                    }
+                }
+            }
+            importance_folds += 1;
+        }
+    }
+    if let Some(acc) = &mut importance_acc {
+        for a in acc.iter_mut() {
+            *a /= importance_folds as f64;
+        }
+    }
+    CvResult { confusion, fold_accuracies, importances: importance_acc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestConfig};
+    use rand::RngExt;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(0.0..10.0);
+            let b: f64 = rng.random_range(0.0..10.0);
+            x.push(vec![a, b]);
+            y.push(usize::from(a > 5.0));
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()], 2)
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        let d = dataset(100, 1);
+        let folds = stratified_kfold(&d.labels, 5, 0);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 100];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 100);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tested exactly once");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let d = dataset(200, 2);
+        let class1_total = d.labels.iter().filter(|&&l| l == 1).count() as f64 / 200.0;
+        for (_, test) in stratified_kfold(&d.labels, 5, 0) {
+            let frac =
+                test.iter().filter(|&&i| d.labels[i] == 1).count() as f64 / test.len() as f64;
+            assert!((frac - class1_total).abs() < 0.1, "fold fraction {frac} vs {class1_total}");
+        }
+    }
+
+    #[test]
+    fn cross_validate_accumulates_all_rows() {
+        let d = dataset(120, 3);
+        let res = cross_validate(&d, 5, 0, || {
+            Box::new(RandomForest::new(RandomForestConfig { n_trees: 10, ..Default::default() }))
+        });
+        assert_eq!(res.confusion.total(), 120);
+        assert_eq!(res.fold_accuracies.len(), 5);
+        assert!(res.accuracy() > 0.85, "easy problem: {}", res.accuracy());
+        let imp = res.importances.expect("forest reports importances");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset(80, 4);
+        let run = || {
+            cross_validate(&d, 4, 7, || {
+                Box::new(RandomForest::new(RandomForestConfig {
+                    n_trees: 5,
+                    seed: 1,
+                    ..Default::default()
+                }))
+            })
+            .accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tiny_class_distributes_without_panic() {
+        let labels = vec![0, 0, 0, 0, 1]; // class 1 has one sample
+        let folds = stratified_kfold(&labels, 3, 0);
+        assert_eq!(folds.len(), 3);
+        // The lone class-1 sample is tested exactly once.
+        let tested: usize =
+            folds.iter().map(|(_, test)| test.iter().filter(|&&i| i == 4).count()).sum();
+        assert_eq!(tested, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dense labelled datasets.
+
+/// A feature matrix with integer class labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row-major feature matrix; every row has the same length.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Column names (used for importance tables).
+    pub feature_names: Vec<String>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shape and label range.
+    ///
+    /// # Panics
+    /// Panics on ragged rows, label/row count mismatch, labels out of range,
+    /// non-finite features, or name/column count mismatch.
+    pub fn new(
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        feature_names: Vec<String>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "one label per row");
+        assert!(n_classes >= 2, "need at least two classes");
+        if let Some(first) = features.first() {
+            assert_eq!(first.len(), feature_names.len(), "one name per column");
+            for row in &features {
+                assert_eq!(row.len(), first.len(), "ragged feature matrix");
+                assert!(row.iter().all(|v| v.is_finite()), "non-finite feature value");
+            }
+        }
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Self { features, labels, feature_names, n_classes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Rows selected by index (for CV splits).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Keep only the named columns, in the given order.
+    ///
+    /// # Panics
+    /// Panics if a requested name is missing.
+    pub fn select_features(&self, names: &[&str]) -> Dataset {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                self.feature_names
+                    .iter()
+                    .position(|f| f == n)
+                    .unwrap_or_else(|| panic!("unknown feature {n}"))
+            })
+            .collect();
+        Dataset {
+            features: self
+                .features
+                .iter()
+                .map(|row| idx.iter().map(|&i| row[i]).collect())
+                .collect(),
+            labels: self.labels.clone(),
+            feature_names: names.iter().map(|s| s.to_string()).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![0, 1, 1],
+            vec!["a".into(), "b".into()],
+            2,
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class_counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = tiny().subset(&[2, 0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.features[0], vec![5.0, 6.0]);
+        assert_eq!(d.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn select_features_reorders_columns() {
+        let d = tiny().select_features(&["b", "a"]);
+        assert_eq!(d.features[0], vec![2.0, 1.0]);
+        assert_eq!(d.feature_names, vec!["b", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature")]
+    fn select_unknown_feature_panics() {
+        tiny().select_features(&["zzz"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_rejected() {
+        Dataset::new(vec![vec![1.0]], vec![5], vec!["a".into()], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0]],
+            vec![0, 1],
+            vec!["a".into(), "b".into()],
+            2,
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Random Forest: bagged CART trees with feature subsampling.
+//!
+//! The paper's winning model (§4.2). Importances are the mean of per-tree
+//! impurity decreases, normalized to sum to 1 — the quantity plotted in
+//! Fig. 6.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeConfig};
+use crate::Classifier;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits (feature subsampling defaults to sqrt).
+    pub tree: TreeConfig,
+    /// Draw bootstrap samples (with replacement) per tree.
+    pub bootstrap: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig { max_features: MaxFeatures::Sqrt, ..Default::default() },
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted Random Forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Self {
+        assert!(config.n_trees >= 1, "a forest needs trees");
+        Self { config, trees: Vec::new(), n_classes: 0, n_features: 0 }
+    }
+
+    /// Averaged class probabilities for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "forest is not fitted");
+        let mut acc = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "features and labels must align");
+        self.n_classes = n_classes;
+        self.n_features = x[0].len();
+        self.trees.clear();
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xf0f0_5757_0000_0001);
+        for _ in 0..self.config.n_trees {
+            let indices: Vec<usize> = if self.config.bootstrap {
+                (0..n).map(|_| rng.random_range(0..n)).collect()
+            } else {
+                (0..n).collect()
+            };
+            let mut tree = DecisionTree::new(self.config.tree);
+            tree.fit_indices(x, y, n_classes, &indices, &mut rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        if self.trees.is_empty() {
+            return None;
+        }
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (a, v) in acc.iter_mut().zip(t.raw_importances()) {
+                *a += v;
+            }
+        }
+        Some(normalize(&acc))
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noisy two-moons-ish data: class = (x0 + x1 > 10) with label noise on
+    /// a band near the boundary.
+    fn noisy(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(0.0..10.0);
+            let b: f64 = rng.random_range(0.0..10.0);
+            let mut label = usize::from(a + b > 10.0);
+            if (a + b - 10.0).abs() < 0.5 && rng.random_range(0.0..1.0) < 0.5 {
+                label = 1 - label;
+            }
+            x.push(vec![a, b, rng.random_range(0.0..1.0)]); // third col = noise
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_on_noisy_data() {
+        let (x, y) = noisy(400, 1);
+        let (xt, yt) = noisy(200, 2);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 40, ..Default::default() });
+        f.fit(&x, &y, 2);
+        let correct = xt
+            .iter()
+            .zip(&yt)
+            .filter(|(s, &l)| f.predict(s) == l)
+            .count();
+        let acc = correct as f64 / yt.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let (x, y) = noisy(100, 3);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 10, ..Default::default() });
+        f.fit(&x, &y, 2);
+        let p = f.predict_proba(&x[0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn importances_ignore_noise_feature() {
+        let (x, y) = noisy(400, 4);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 40, ..Default::default() });
+        f.fit(&x, &y, 2);
+        let imp = f.feature_importances().unwrap();
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "noise column should rank last: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy(150, 5);
+        let mk = || {
+            let mut f =
+                RandomForest::new(RandomForestConfig { n_trees: 15, seed: 9, ..Default::default() });
+            f.fit(&x, &y, 2);
+            (0..x.len()).map(|i| f.predict(&x[i])).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let (x, y) = noisy(150, 6);
+        let proba = |seed: u64| {
+            let mut f =
+                RandomForest::new(RandomForestConfig { n_trees: 5, seed, ..Default::default() });
+            f.fit(&x, &y, 2);
+            // Concatenate class-0 probabilities over every sample: different
+            // bootstraps must disagree somewhere even if hard labels agree.
+            x.iter().map(|s| f.predict_proba(s)[0]).collect::<Vec<_>>()
+        };
+        assert_ne!(proba(1), proba(2));
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let (x, y) = noisy(50, 7);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 7, ..Default::default() });
+        f.fit(&x, &y, 2);
+        assert_eq!(f.tree_count(), 7);
+    }
+}

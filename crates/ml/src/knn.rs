@@ -1,0 +1,121 @@
+//! k-nearest-neighbours classifier (Euclidean distance, majority vote).
+//!
+//! One of the paper's five evaluated model families. Scale features first
+//! (see [`crate::scale::StandardScaler`]).
+
+use crate::Classifier;
+
+/// k-NN classifier.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Classifier voting over the `k` nearest training samples.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, x: Vec::new(), y: Vec::new(), n_classes: 0 }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "features and labels must align");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "knn is not fitted");
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(row, &label)| (sq_dist(row, sample), label))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = vec![0usize; self.n_classes];
+        for (_, label) in &dists[..k] {
+            votes[*label] += 1;
+        }
+        // Ties break toward the smaller class index (deterministic).
+        let mut best = 0;
+        for (c, &v) in votes.iter().enumerate() {
+            if v > votes[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![i as f64 * 0.1, 0.0]);
+            y.push(0);
+            x.push(vec![5.0 + i as f64 * 0.1, 0.0]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = clusters();
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&x, &y, 2);
+        assert_eq!(knn.predict(&[0.2, 0.0]), 0);
+        assert_eq!(knn.predict(&[5.3, 0.0]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut knn = KnnClassifier::new(100);
+        knn.fit(&x, &y, 2);
+        // All points vote; tie breaks toward class 0.
+        assert_eq!(knn.predict(&[0.4]), 0);
+    }
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let (x, y) = clusters();
+        let mut knn = KnnClassifier::new(1);
+        knn.fit(&x, &y, 2);
+        for (s, &l) in x.iter().zip(&y) {
+            assert_eq!(knn.predict(s), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        KnnClassifier::new(0);
+    }
+}

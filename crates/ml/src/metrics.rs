@@ -1,0 +1,206 @@
+//! Classification metrics: confusion matrices, accuracy, precision, recall.
+//!
+//! The paper reports overall accuracy plus precision and recall *for the
+//! low-QoE class* (§4.2): "we particularly focus on the recall value as one
+//! of our main goals is to correctly identify network locations with video
+//! performance issues."
+
+/// A confusion matrix with `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `n_classes`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        Self { counts: vec![vec![0; n_classes]; n_classes], n_classes }
+    }
+
+    /// Build from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_pairs(actual: &[usize], predicted: &[usize], n_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices must align");
+        let mut m = Self::new(n_classes);
+        for (&a, &p) in actual.iter().zip(predicted) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n_classes && predicted < self.n_classes, "label out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Merge another matrix into this one (for CV fold accumulation).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
+        for a in 0..self.n_classes {
+            for p in 0..self.n_classes {
+                self.counts[a][p] += other.counts[a][p];
+            }
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Raw counts, `[actual][predicted]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Observations with `actual == class`.
+    pub fn actual_count(&self, class: usize) -> usize {
+        self.counts[class].iter().sum()
+    }
+
+    /// Fraction correct overall; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall for `class`: TP / actual positives; 0 when the class is empty.
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual = self.actual_count(class);
+        if actual == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / actual as f64
+    }
+
+    /// Precision for `class`: TP / predicted positives; 0 when never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.n_classes).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / predicted as f64
+    }
+
+    /// F1 for `class`; 0 when precision + recall is 0.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Unweighted mean F1 over classes.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.n_classes).map(|c| self.f1(c)).sum::<f64>() / self.n_classes as f64
+    }
+
+    /// Row-normalized matrix (each actual-class row sums to 1), as the
+    /// paper prints Table 2. Rows with no observations are all zeros.
+    pub fn row_normalized(&self) -> Vec<Vec<f64>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    vec![0.0; self.n_classes]
+                } else {
+                    row.iter().map(|&c| c as f64 / total as f64).collect()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // actual 0: 8 right, 2 as class1; actual 1: 3 as 0, 7 right.
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..3 {
+            m.record(1, 0);
+        }
+        for _ in 0..7 {
+            m.record(1, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_precision_recall() {
+        let m = sample();
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.precision(0) - 8.0 / 11.0).abs() < 1e-12);
+        assert!((m.recall(1) - 0.7).abs() < 1e-12);
+        assert!((m.precision(1) - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_and_macro() {
+        let m = sample();
+        let f0 = m.f1(0);
+        let expected = 2.0 * (8.0 / 11.0) * 0.8 / ((8.0 / 11.0) + 0.8);
+        assert!((f0 - expected).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.0 && m.macro_f1() <= 1.0);
+    }
+
+    #[test]
+    fn from_pairs_matches_record() {
+        let m = ConfusionMatrix::from_pairs(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m.counts()[0][1], 1);
+        assert_eq!(m.counts()[1][1], 2);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 40);
+        assert!((a.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_normalized_sums_to_one() {
+        let m = sample();
+        for row in m.row_normalized() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero_not_nan() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        assert_eq!(m.f1(0), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Multilayer perceptron: ReLU hidden layers, softmax output, minibatch SGD
+//! with momentum on the cross-entropy loss.
+//!
+//! One of the paper's five model families. Expects standardized features.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::tree::argmax;
+use crate::Classifier;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `[32, 16]`.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Minibatch size.
+    pub batch: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self { hidden: vec![32], epochs: 60, lr: 0.03, momentum: 0.9, batch: 32, seed: 0 }
+    }
+}
+
+/// A dense layer's parameters (and momentum buffers).
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<Vec<f64>>, // [out][in]
+    b: Vec<f64>,
+    vw: Vec<Vec<f64>>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_out)
+            .map(|_| (0..n_in).map(|_| rng.random_range(-1.0..1.0) * scale).collect())
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            vw: vec![vec![0.0; n_in]; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(row, b)| row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+/// A fitted multilayer perceptron.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Layer>,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// Unfitted MLP.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(config.epochs >= 1 && config.batch >= 1, "bad epochs/batch");
+        assert!(config.lr > 0.0, "learning rate must be positive");
+        Self { config, layers: Vec::new(), n_classes: 0 }
+    }
+
+    /// Softmax class probabilities for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.layers.is_empty(), "mlp is not fitted");
+        let (acts, _) = self.forward(x);
+        acts.last().expect("network has layers").clone()
+    }
+
+    /// Forward pass; returns (per-layer activations incl. output probs,
+    /// per-layer pre-activations).
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut acts: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut pres: Vec<Vec<f64>> = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(acts.last().expect("input activation"));
+            let a = if li + 1 == self.layers.len() {
+                softmax(&z)
+            } else {
+                z.iter().map(|v| v.max(0.0)).collect()
+            };
+            pres.push(z);
+            acts.push(a);
+        }
+        (acts, pres)
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "features and labels must align");
+        self.n_classes = n_classes;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x31ac_0000_0002);
+        let mut dims = vec![x[0].len()];
+        dims.extend(&self.config.hidden);
+        dims.push(n_classes);
+        self.layers =
+            dims.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch) {
+                self.sgd_step(x, y, chunk);
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+impl Mlp {
+    fn sgd_step(&mut self, x: &[Vec<f64>], y: &[usize], batch: &[usize]) {
+        let l = self.layers.len();
+        // Accumulate gradients over the batch.
+        let mut gw: Vec<Vec<Vec<f64>>> =
+            self.layers.iter().map(|ly| vec![vec![0.0; ly.w[0].len()]; ly.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|ly| vec![0.0; ly.b.len()]).collect();
+
+        for &i in batch {
+            let (acts, pres) = self.forward(&x[i]);
+            // Output delta: softmax + cross-entropy => p - onehot.
+            let mut delta: Vec<f64> = acts[l].clone();
+            delta[y[i]] -= 1.0;
+            for li in (0..l).rev() {
+                // Gradients for layer li: delta x act[li].
+                for (j, dj) in delta.iter().enumerate() {
+                    gb[li][j] += dj;
+                    for (gwk, a) in gw[li][j].iter_mut().zip(&acts[li]) {
+                        *gwk += dj * a;
+                    }
+                }
+                if li > 0 {
+                    // Propagate: delta_prev = W^T delta ⊙ relu'(z_prev).
+                    let mut prev = vec![0.0; acts[li].len()];
+                    for (j, dj) in delta.iter().enumerate() {
+                        for (k, p) in prev.iter_mut().enumerate() {
+                            *p += self.layers[li].w[j][k] * dj;
+                        }
+                    }
+                    for (p, z) in prev.iter_mut().zip(&pres[li - 1]) {
+                        if *z <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+
+        let scale = self.config.lr / batch.len() as f64;
+        let mu = self.config.momentum;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for j in 0..layer.w.len() {
+                for (k, g) in gw[li][j].iter().enumerate() {
+                    layer.vw[j][k] = mu * layer.vw[j][k] - scale * g;
+                    layer.w[j][k] += layer.vw[j][k];
+                }
+                layer.vb[j] = mu * layer.vb[j] - scale * gb[li][j];
+                layer.b[j] += layer.vb[j];
+            }
+        }
+    }
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the classic not-linearly-separable sanity check.
+        let x = [
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        // Replicate so minibatches see everything repeatedly.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| x[i % 4].clone()).collect();
+        let ys: Vec<usize> = (0..40).map(|i| y[i % 4]).collect();
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![16],
+            epochs: 300,
+            lr: 0.05,
+            ..Default::default()
+        });
+        mlp.fit(&xs, &ys, 2);
+        for (s, &l) in x.iter().zip(&y) {
+            assert_eq!(mlp.predict(s), l, "sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let x = [vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut mlp = Mlp::new(MlpConfig { epochs: 20, ..Default::default() });
+        mlp.fit(&x, &y, 2);
+        let p = mlp.predict_proba(&[1.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let fit = || {
+            let mut m = Mlp::new(MlpConfig { epochs: 10, seed: 3, ..Default::default() });
+            m.fit(&x, &y, 2);
+            m.predict_proba(&[1.2])
+        };
+        assert_eq!(fit(), fit());
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Feature standardization (zero mean, unit variance).
+//!
+//! Distance- and gradient-based models (k-NN, SVM, MLP) need comparable
+//! feature scales; tree models do not. Fit on training folds only to avoid
+//! leakage.
+
+/// Per-column standardizer.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on a feature matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no rows");
+        let n = x.len() as f64;
+        let d = x[0].len();
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in x {
+            for ((va, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                *va += (v - m) * (v - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0 // constant column: leave centered at zero
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a copy of the matrix.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let x = vec![vec![0.0, 10.0], vec![2.0, 20.0], vec![4.0, 30.0]];
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[c] * r[c]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.iter().all(|r| r[0].abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Linear SVM, one-vs-rest, trained with SGD on the L2-regularized hinge
+//! loss (Pegasos-style step sizes).
+//!
+//! One of the paper's five model families. Expects standardized features.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// SVM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearSvmConfig {
+    /// L2 regularization strength (λ).
+    pub lambda: f64,
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// RNG seed for sample shuffling.
+    pub seed: u64,
+}
+
+impl Default for LinearSvmConfig {
+    fn default() -> Self {
+        Self { lambda: 1e-3, epochs: 30, seed: 0 }
+    }
+}
+
+/// One-vs-rest linear SVM.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    config: LinearSvmConfig,
+    // Per class: weight vector + bias.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl LinearSvm {
+    /// Unfitted SVM.
+    pub fn new(config: LinearSvmConfig) -> Self {
+        assert!(config.lambda > 0.0, "lambda must be positive");
+        assert!(config.epochs >= 1, "need at least one epoch");
+        Self { config, weights: Vec::new(), biases: Vec::new() }
+    }
+
+    /// Decision value for `class` on `sample`.
+    pub fn decision(&self, class: usize, sample: &[f64]) -> f64 {
+        dot(&self.weights[class], sample) + self.biases[class]
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "features and labels must align");
+        let d = x[0].len();
+        self.weights = vec![vec![0.0; d]; n_classes];
+        self.biases = vec![0.0; n_classes];
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5f3c_0000_0001);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+
+        for class in 0..n_classes {
+            let w = &mut self.weights[class];
+            let b = &mut self.biases[class];
+            let mut t = 1.0f64;
+            for _ in 0..self.config.epochs {
+                order.shuffle(&mut rng);
+                for &i in order.iter() {
+                    let target = if y[i] == class { 1.0 } else { -1.0 };
+                    let eta = 1.0 / (self.config.lambda * t);
+                    let margin = target * (dot(w, &x[i]) + *b);
+                    // L2 shrink.
+                    let shrink = 1.0 - eta * self.config.lambda;
+                    for wj in w.iter_mut() {
+                        *wj *= shrink;
+                    }
+                    if margin < 1.0 {
+                        for (wj, xj) in w.iter_mut().zip(&x[i]) {
+                            *wj += eta * target * xj;
+                        }
+                        *b += eta * target * 0.1; // damped bias update
+                    }
+                    t += 1.0;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, sample: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "svm is not fitted");
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for c in 0..self.weights.len() {
+            let v = self.decision(c, sample);
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-svm"
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::StandardScaler;
+    use rand::RngExt;
+
+    fn separable(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random_range(-1.0..1.0);
+            let b: f64 = rng.random_range(-1.0..1.0);
+            x.push(vec![a, b]);
+            y.push(usize::from(a + 0.5 * b > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (x, y) = separable(300, 1);
+        let scaler = StandardScaler::fit(&x);
+        let xs = scaler.transform(&x);
+        let mut svm = LinearSvm::new(LinearSvmConfig::default());
+        svm.fit(&xs, &y, 2);
+        let correct = xs.iter().zip(&y).filter(|(s, &l)| svm.predict(s) == l).count();
+        let acc = correct as f64 / y.len() as f64;
+        assert!(acc > 0.93, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        // Three clusters on a line.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let f = i as f64 / 30.0;
+            x.push(vec![f]);
+            y.push(0);
+            x.push(vec![f + 3.0]);
+            y.push(1);
+            x.push(vec![f + 6.0]);
+            y.push(2);
+        }
+        let scaler = StandardScaler::fit(&x);
+        let xs = scaler.transform(&x);
+        let mut svm = LinearSvm::new(LinearSvmConfig { epochs: 60, ..Default::default() });
+        svm.fit(&xs, &y, 3);
+        let correct = xs.iter().zip(&y).filter(|(s, &l)| svm.predict(s) == l).count();
+        assert!(correct as f64 / y.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = separable(100, 2);
+        let fit = || {
+            let mut svm = LinearSvm::new(LinearSvmConfig { seed: 5, ..Default::default() });
+            svm.fit(&x, &y, 2);
+            svm.decision(0, &x[0])
+        };
+        assert_eq!(fit(), fit());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn bad_lambda_rejected() {
+        LinearSvm::new(LinearSvmConfig { lambda: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,370 @@
+//! CART decision trees (Gini impurity).
+//!
+//! The building block for [`crate::forest::RandomForest`]. Supports feature
+//! subsampling per split (the forest's de-correlation mechanism) and
+//! accumulates impurity-decrease feature importances, which Fig. 6 needs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::Classifier;
+
+/// How many features to consider per split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// Every feature (classic single CART).
+    All,
+    /// `ceil(sqrt(d))` — the Random Forest default.
+    Sqrt,
+    /// A fixed count (clamped to `d`).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(&self, d: usize) -> usize {
+        match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Count(k) => (*k).clamp(1, d),
+        }
+        .max(1)
+    }
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 18, min_samples_split: 2, min_samples_leaf: 1, max_features: MaxFeatures::All }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf { probs: Vec<f64> },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    n_classes: usize,
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Unfitted tree with the given limits.
+    pub fn new(config: TreeConfig) -> Self {
+        Self { config, nodes: Vec::new(), n_classes: 0, importances: Vec::new() }
+    }
+
+    /// Fit on the rows of `x` selected by `indices` (with repetition allowed
+    /// — bootstrap samples pass duplicated indices).
+    pub fn fit_indices(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        indices: &[usize],
+        rng: &mut StdRng,
+    ) {
+        assert!(!indices.is_empty(), "cannot fit a tree on no samples");
+        assert_eq!(x.len(), y.len(), "features and labels must align");
+        let d = x[0].len();
+        self.n_classes = n_classes;
+        self.nodes.clear();
+        self.importances = vec![0.0; d];
+        let mut idx = indices.to_vec();
+        let total = idx.len() as f64;
+        self.build(x, y, &mut idx, 0, total, rng);
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_proba(&self, sample: &[f64]) -> &[f64] {
+        assert!(!self.nodes.is_empty(), "tree is not fitted");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { probs } => return probs,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if sample[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Raw (unnormalized) impurity-decrease importances.
+    pub fn raw_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn class_counts(&self, y: &[usize], idx: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_classes];
+        for &i in idx {
+            counts[y[i]] += 1.0;
+        }
+        counts
+    }
+
+    /// Build the subtree over `idx` (which it reorders), returning its node id.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &mut [usize],
+        depth: usize,
+        total: f64,
+        rng: &mut StdRng,
+    ) -> usize {
+        let counts = self.class_counts(y, idx);
+        let n = idx.len() as f64;
+        let node_gini = gini(&counts, n);
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let probs = counts.iter().map(|c| c / n).collect();
+            nodes.push(Node::Leaf { probs });
+            nodes.len() - 1
+        };
+
+        if depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || node_gini <= 1e-12
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Feature subset for this split.
+        let d = x[0].len();
+        let k = self.config.max_features.resolve(d);
+        let mut feats: Vec<usize> = (0..d).collect();
+        feats.shuffle(rng);
+        feats.truncate(k);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, decrease)
+        let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+        for &f in &feats {
+            sorted.clear();
+            sorted.extend(idx.iter().map(|&i| (x[i][f], y[i])));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut left = vec![0.0; self.n_classes];
+            let mut right = counts.clone();
+            let min_leaf = self.config.min_samples_leaf;
+            for i in 0..sorted.len() - 1 {
+                let (v, c) = sorted[i];
+                left[c] += 1.0;
+                right[c] -= 1.0;
+                let next_v = sorted[i + 1].0;
+                if next_v <= v {
+                    continue; // no threshold between equal values
+                }
+                let nl = (i + 1) as f64;
+                let nr = n - nl;
+                if (i + 1) < min_leaf || (sorted.len() - i - 1) < min_leaf {
+                    continue;
+                }
+                let decrease =
+                    node_gini - (nl / n) * gini(&left, nl) - (nr / n) * gini(&right, nr);
+                if decrease > best.map_or(1e-12, |b| b.2) {
+                    best = Some((f, v, decrease));
+                }
+            }
+        }
+
+        let Some((feature, threshold, decrease)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        self.importances[feature] += (n / total) * decrease;
+
+        // Partition in place.
+        let mut split_point = 0;
+        for i in 0..idx.len() {
+            if x[idx[i]][feature] <= threshold {
+                idx.swap(i, split_point);
+                split_point += 1;
+            }
+        }
+        debug_assert!(split_point > 0 && split_point < idx.len());
+
+        // Reserve our slot, then build children.
+        self.nodes.push(Node::Leaf { probs: Vec::new() }); // placeholder
+        let me = self.nodes.len() - 1;
+        let (li, ri) = {
+            let (l, r) = idx.split_at_mut(split_point);
+            let li = self.build(x, y, l, depth + 1, total, rng);
+            let ri = self.build(x, y, r, depth + 1, total, rng);
+            (li, ri)
+        };
+        self.nodes[me] = Node::Split { feature, threshold, left: li, right: ri };
+        me
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let indices: Vec<usize> = (0..x.len()).collect();
+        // Deterministic internal RNG: feature shuffling only matters when
+        // subsampling, and a fixed seed keeps single-tree fits reproducible.
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0x0000_7e33_0000_abcd);
+        self.fit_indices(x, y, n_classes, &indices, &mut rng);
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(self.predict_proba(x))
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(normalize(&self.importances))
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+pub(crate) fn gini(counts: &[f64], n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>()
+}
+
+pub(crate) fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate() {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+pub(crate) fn normalize(xs: &[f64]) -> Vec<f64> {
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 2-class data on feature 0; feature 1 is noise.
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = i as f64;
+            x.push(vec![v, (i % 7) as f64]);
+            y.push(usize::from(v >= 20.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let (x, y) = toy();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, 2);
+        assert_eq!(t.predict(&[5.0, 0.0]), 0);
+        assert_eq!(t.predict(&[35.0, 0.0]), 1);
+        // Perfect split means exactly 3 nodes.
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn importance_concentrates_on_signal_feature() {
+        let (x, y) = toy();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, 2);
+        let imp = t.feature_importances().unwrap();
+        assert!(imp[0] > 0.9, "importances {imp:?}");
+        let sum: f64 = imp.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = toy();
+        let mut t = DecisionTree::new(TreeConfig { max_depth: 0, ..Default::default() });
+        t.fit(&x, &y, 2);
+        assert_eq!(t.node_count(), 1, "depth 0 means a single leaf");
+        let p = t.predict_proba(&[0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = toy();
+        let mut t = DecisionTree::new(TreeConfig { min_samples_leaf: 25, ..Default::default() });
+        t.fit(&x, &y, 2);
+        // No split can leave 25 on both sides of 40 samples except dead center;
+        // 20/20 violates min 25, so the tree must be a stump.
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn multiclass_probabilities_sum_to_one() {
+        let x = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+            vec![11.0],
+            vec![20.0],
+            vec![21.0],
+        ];
+        let y = vec![0, 0, 0, 1, 1, 2, 2];
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, 3);
+        for s in &x {
+            let p = t.predict_proba(s);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(t.predict(&[0.5]), 0);
+        assert_eq!(t.predict(&[10.5]), 1);
+        assert_eq!(t.predict(&[25.0]), 2);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let y = vec![0, 1, 0, 1];
+        let mut t = DecisionTree::new(TreeConfig::default());
+        t.fit(&x, &y, 2);
+        assert_eq!(t.node_count(), 1);
+        let p = t.predict_proba(&[1.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicated_bootstrap_indices_work() {
+        let (x, y) = toy();
+        let mut t = DecisionTree::new(TreeConfig::default());
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let indices: Vec<usize> = (0..40).map(|i| i % 10).collect(); // heavy repetition
+        t.fit_indices(&x, &y, 2, &indices, &mut rng);
+        // All duplicated samples are class 0 (v < 20), so everything is 0.
+        assert_eq!(t.predict(&[3.0, 0.0]), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dtp-simnet — network emulation substrate
+//!
+//! The paper streams video sessions "under emulated network conditions using
+//! publicly available bandwidth traces representing a diversity of network
+//! environments including fixed broadband, 3G and LTE" (§4.1, refs [2, 27, 32]).
+//! Those trace corpora (FCC Measuring Broadband America, the Norway 3G commute
+//! traces, the Ghent 4G/LTE traces) cannot ship with this repository, so this
+//! crate provides synthetic generators that match their published character:
+//!
+//! * [`generate::TraceKind::Broadband`] — stable, high-rate fixed lines,
+//! * [`generate::TraceKind::Cellular3g`] — low, strongly autocorrelated rates
+//!   with outage periods (tram/train commute traces),
+//! * [`generate::TraceKind::Lte`] — high but volatile rates with handover dips.
+//!
+//! A [`trace::BandwidthTrace`] is a step function of available bandwidth over
+//! time; [`link::Link`] turns it into transfer timings, RTT samples and loss
+//! indications for the transport simulator. Everything is deterministic given
+//! an explicit `u64` seed.
+
+pub mod generate;
+pub mod io;
+pub mod link;
+pub mod stats;
+pub mod trace;
+
+pub use generate::{TraceConfig, TraceCorpus, TraceKind};
+pub use io::{load_trace_file, parse_trace};
+pub use link::{Link, LinkConfig, TransferOpts, TransferResult};
+pub use trace::BandwidthTrace;

@@ -1,0 +1,315 @@
+//! Time-varying link model.
+//!
+//! A [`Link`] binds a [`BandwidthTrace`] to path properties (base RTT,
+//! jitter, random loss, congestion loss) and answers the two questions the
+//! transport simulator asks:
+//!
+//! 1. *When does a transfer of B bytes starting at time t finish?* —
+//!    [`Link::transfer`], which models TCP slow-start ramp-up against the
+//!    trace's available bandwidth, and
+//! 2. *What loss probability / RTT does a packet sent at time t see?* —
+//!    [`Link::loss_prob_at`] / [`Link::rtt_sample`], used to synthesize
+//!    retransmissions and RTT samples in packet traces (the inputs the ML16
+//!    baseline consumes).
+
+use rand::{Rng, RngExt};
+
+use crate::trace::BandwidthTrace;
+
+/// Path properties layered on top of a bandwidth trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Base (uncongested) round-trip time in milliseconds.
+    pub base_rtt_ms: f64,
+    /// Mean of the exponential RTT jitter component, milliseconds.
+    pub rtt_jitter_ms: f64,
+    /// Random (non-congestion) packet loss probability.
+    pub base_loss: f64,
+    /// Additional loss probability at full utilization (scaled by util^4).
+    pub congestion_loss: f64,
+    /// Queueing delay added at full utilization, milliseconds.
+    pub max_queue_delay_ms: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            base_rtt_ms: 40.0,
+            rtt_jitter_ms: 5.0,
+            base_loss: 0.0005,
+            congestion_loss: 0.02,
+            max_queue_delay_ms: 80.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Typical cellular path: higher RTT, more jitter and loss.
+    pub fn cellular() -> Self {
+        Self {
+            base_rtt_ms: 70.0,
+            rtt_jitter_ms: 15.0,
+            base_loss: 0.002,
+            congestion_loss: 0.04,
+            max_queue_delay_ms: 200.0,
+        }
+    }
+
+    /// Typical fixed-broadband path.
+    pub fn broadband() -> Self {
+        Self {
+            base_rtt_ms: 25.0,
+            rtt_jitter_ms: 3.0,
+            base_loss: 0.0002,
+            congestion_loss: 0.01,
+            max_queue_delay_ms: 50.0,
+        }
+    }
+}
+
+/// Options for a single transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferOpts {
+    /// Fraction of the link this flow gets (1.0 = sole flow).
+    pub share: f64,
+    /// Initial congestion window in bytes (fresh connection ≈ 10 MSS;
+    /// reused connections restart larger).
+    pub init_cwnd_bytes: f64,
+    /// Whether to model the slow-start ramp at all.
+    pub slow_start: bool,
+}
+
+impl Default for TransferOpts {
+    fn default() -> Self {
+        Self { share: 1.0, init_cwnd_bytes: 10.0 * 1448.0, slow_start: true }
+    }
+}
+
+/// Outcome of a simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferResult {
+    /// When the first byte was requested (seconds).
+    pub start_s: f64,
+    /// When the last byte arrived (seconds).
+    pub end_s: f64,
+    /// Bytes moved.
+    pub bytes: f64,
+}
+
+impl TransferResult {
+    /// Application-level throughput in kbit/s.
+    pub fn mean_kbps(&self) -> f64 {
+        let dur = self.end_s - self.start_s;
+        if dur <= 0.0 {
+            return 0.0;
+        }
+        self.bytes * 8.0 / dur / 1000.0
+    }
+
+    /// Transfer duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// A bandwidth trace plus path properties.
+#[derive(Debug, Clone)]
+pub struct Link {
+    trace: BandwidthTrace,
+    config: LinkConfig,
+}
+
+impl Link {
+    /// Bind a trace to path properties.
+    pub fn new(trace: BandwidthTrace, config: LinkConfig) -> Self {
+        Self { trace, config }
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// The path configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Available bandwidth for this flow at time `t` (kbit/s), after share.
+    pub fn kbps_at(&self, t: f64, share: f64) -> f64 {
+        self.trace.kbps_at(t) * share.clamp(0.0, 1.0)
+    }
+
+    /// Simulate a transfer of `bytes` starting at `start_s`.
+    ///
+    /// Slow start is approximated by capping the flow's rate at
+    /// `cwnd / RTT`, doubling `cwnd` every RTT until the cap exceeds the
+    /// trace's available rate; from then on the transfer is trace-limited.
+    /// Returns `None` if the transfer cannot finish within `horizon_s`
+    /// (link down for the whole horizon).
+    pub fn transfer(
+        &self,
+        start_s: f64,
+        bytes: f64,
+        opts: TransferOpts,
+        horizon_s: f64,
+    ) -> Option<TransferResult> {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bytes must be finite and >= 0");
+        if bytes == 0.0 {
+            return Some(TransferResult { start_s, end_s: start_s, bytes: 0.0 });
+        }
+        let rtt_s = self.config.base_rtt_ms / 1000.0;
+        // The request travels to the server before data flows back.
+        let mut t = start_s + rtt_s;
+        let deadline = start_s + horizon_s;
+        let mut remaining = bytes;
+
+        if opts.slow_start {
+            let mut cwnd = opts.init_cwnd_bytes.max(1448.0);
+            // Ramp one RTT at a time until cwnd no longer limits us.
+            loop {
+                if t >= deadline {
+                    return None;
+                }
+                let link_bps = self.kbps_at(t, opts.share) * 125.0;
+                let cwnd_bps = cwnd / rtt_s;
+                if link_bps <= 0.0 {
+                    // Outage: idle out this trace step.
+                    t += self.trace.interval_s();
+                    continue;
+                }
+                if cwnd_bps >= link_bps {
+                    break; // trace-limited from here on
+                }
+                let step = rtt_s.min(deadline - t);
+                let delivered = cwnd_bps.min(link_bps) * step;
+                if delivered >= remaining {
+                    let end = t + remaining / cwnd_bps.min(link_bps);
+                    return Some(TransferResult { start_s, end_s: end, bytes });
+                }
+                remaining -= delivered;
+                t += step;
+                cwnd *= 2.0;
+            }
+        }
+
+        // Trace-limited tail: integrate the (shared) trace directly.
+        let scaled = if (opts.share - 1.0).abs() < f64::EPSILON {
+            None
+        } else {
+            Some(self.trace.scaled(opts.share.clamp(0.0, 1.0)))
+        };
+        let tr = scaled.as_ref().unwrap_or(&self.trace);
+        let end = tr.time_to_deliver(t, remaining, deadline - t)?;
+        Some(TransferResult { start_s, end_s: end, bytes })
+    }
+
+    /// Packet-loss probability at time `t` given flow utilization in \[0,1\].
+    pub fn loss_prob_at(&self, _t: f64, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        (self.config.base_loss + self.config.congestion_loss * u.powi(4)).clamp(0.0, 1.0)
+    }
+
+    /// Draw an RTT sample (milliseconds) for a packet sent at time `t`.
+    ///
+    /// RTT = base + exponential jitter + queueing delay that grows with
+    /// utilization (bufferbloat under saturation).
+    pub fn rtt_sample<R: Rng + ?Sized>(&self, rng: &mut R, _t: f64, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let jitter = -self.config.rtt_jitter_ms * rng.random_range(0.0f64..1.0).max(1e-12).ln();
+        self.config.base_rtt_ms + jitter + self.config.max_queue_delay_ms * u * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn link(kbps: f64) -> Link {
+        Link::new(BandwidthTrace::constant(kbps, 600.0), LinkConfig::default())
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_instant() {
+        let l = link(1000.0);
+        let r = l.transfer(5.0, 0.0, TransferOpts::default(), 100.0).unwrap();
+        assert_eq!(r.start_s, r.end_s);
+    }
+
+    #[test]
+    fn transfer_without_slow_start_matches_trace_integral() {
+        let l = link(8000.0); // 1 MB/s
+        let opts = TransferOpts { slow_start: false, ..Default::default() };
+        let r = l.transfer(0.0, 1_000_000.0, opts, 600.0).unwrap();
+        // 1 MB at 1 MB/s = 1 s plus the request RTT.
+        let expect = 1.0 + l.config().base_rtt_ms / 1000.0;
+        assert!((r.end_s - expect).abs() < 1e-6, "end={}", r.end_s);
+    }
+
+    #[test]
+    fn slow_start_delays_small_transfers() {
+        let l = link(100_000.0); // very fast link
+        let fast = l
+            .transfer(0.0, 500_000.0, TransferOpts { slow_start: false, ..Default::default() }, 60.0)
+            .unwrap();
+        let slow = l.transfer(0.0, 500_000.0, TransferOpts::default(), 60.0).unwrap();
+        assert!(
+            slow.duration_s() > fast.duration_s(),
+            "slow-start {} should exceed {}",
+            slow.duration_s(),
+            fast.duration_s()
+        );
+    }
+
+    #[test]
+    fn slow_start_irrelevant_for_long_transfers_on_slow_links() {
+        let l = link(500.0); // 62.5 kB/s; cwnd cap exceeded almost immediately
+        let a = l.transfer(0.0, 2_000_000.0, TransferOpts::default(), 3600.0).unwrap();
+        let b = l
+            .transfer(0.0, 2_000_000.0, TransferOpts { slow_start: false, ..Default::default() }, 3600.0)
+            .unwrap();
+        let rel = (a.duration_s() - b.duration_s()).abs() / b.duration_s();
+        assert!(rel < 0.02, "rel diff {rel}");
+    }
+
+    #[test]
+    fn share_halves_throughput() {
+        let l = link(8000.0);
+        let opts = TransferOpts { share: 0.5, slow_start: false, ..Default::default() };
+        let r = l.transfer(0.0, 1_000_000.0, opts, 600.0).unwrap();
+        let expect = 2.0 + l.config().base_rtt_ms / 1000.0;
+        assert!((r.end_s - expect).abs() < 1e-6, "end={}", r.end_s);
+    }
+
+    #[test]
+    fn transfer_times_out_on_dead_link() {
+        let l = Link::new(BandwidthTrace::new(vec![0.0], 1.0), LinkConfig::default());
+        assert!(l.transfer(0.0, 1000.0, TransferOpts::default(), 30.0).is_none());
+    }
+
+    #[test]
+    fn loss_grows_with_utilization() {
+        let l = link(1000.0);
+        assert!(l.loss_prob_at(0.0, 1.0) > l.loss_prob_at(0.0, 0.1));
+        assert!(l.loss_prob_at(0.0, 0.0) >= l.config().base_loss * 0.99);
+        assert!(l.loss_prob_at(0.0, 1.0) <= 1.0);
+    }
+
+    #[test]
+    fn rtt_samples_bounded_below_by_base() {
+        let l = link(1000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = l.rtt_sample(&mut rng, 0.0, 0.5);
+            assert!(s >= l.config().base_rtt_ms);
+        }
+    }
+
+    #[test]
+    fn mean_kbps_computed_from_duration() {
+        let r = TransferResult { start_s: 0.0, end_s: 2.0, bytes: 250_000.0 };
+        assert!((r.mean_kbps() - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Small numeric summaries shared by the trace corpus and experiment
+//! binaries (CDF points, percentiles).
+
+/// Mean of a slice; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// `p`-th percentile (0..=100) using linear interpolation; 0.0 for empty.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Evaluate an empirical CDF at `k` evenly spaced probability points,
+/// returning `(probability, value)` pairs — handy for plotting Fig. 3a-style
+/// curves as text.
+pub fn cdf_points(xs: &[f64], k: usize) -> Vec<(f64, f64)> {
+    if xs.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    (0..=k)
+        .map(|i| {
+            let p = i as f64 / k as f64;
+            (p, percentile(xs, p * 100.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(median(&xs), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let pts = cdf_points(&xs, 10);
+        assert_eq!(pts.len(), 11);
+        assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(pts[0].1, 1.0);
+        assert_eq!(pts[10].1, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

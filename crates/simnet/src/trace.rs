@@ -1,0 +1,242 @@
+//! Bandwidth traces: piecewise-constant available-bandwidth processes.
+//!
+//! A [`BandwidthTrace`] holds samples in kbit/s at a fixed sampling interval,
+//! mirroring the format of the public trace corpora the paper replays (one
+//! rate sample per interval). Time is in seconds from the start of the trace;
+//! the trace value is held constant within each interval (step function) and
+//! the last sample extends to infinity so a session can never outrun its
+//! trace.
+
+/// A piecewise-constant bandwidth process sampled at a fixed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthTrace {
+    /// Bandwidth samples in kbit/s. Never empty.
+    samples_kbps: Vec<f64>,
+    /// Seconds covered by each sample.
+    interval_s: f64,
+}
+
+impl BandwidthTrace {
+    /// Create a trace from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `samples_kbps` is empty, if `interval_s` is not strictly
+    /// positive, or if any sample is negative or non-finite.
+    pub fn new(samples_kbps: Vec<f64>, interval_s: f64) -> Self {
+        assert!(!samples_kbps.is_empty(), "trace must have at least one sample");
+        assert!(
+            interval_s.is_finite() && interval_s > 0.0,
+            "interval must be positive"
+        );
+        assert!(
+            samples_kbps.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        Self { samples_kbps, interval_s }
+    }
+
+    /// A trace with a single constant rate, useful in tests and examples.
+    pub fn constant(kbps: f64, duration_s: f64) -> Self {
+        let n = (duration_s.max(1.0)).ceil() as usize;
+        Self::new(vec![kbps; n], 1.0)
+    }
+
+    /// Bandwidth in kbit/s at absolute time `t` seconds.
+    ///
+    /// Times before the start clamp to the first sample; times past the end
+    /// clamp to the last sample (the trace is extended by holding its final
+    /// value, as trace-replay tools do when looping is disabled).
+    pub fn kbps_at(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return self.samples_kbps[0];
+        }
+        let idx = (t / self.interval_s) as usize;
+        let idx = idx.min(self.samples_kbps.len() - 1);
+        self.samples_kbps[idx]
+    }
+
+    /// Seconds covered by the recorded samples.
+    pub fn duration_s(&self) -> f64 {
+        self.samples_kbps.len() as f64 * self.interval_s
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Raw samples in kbit/s.
+    pub fn samples_kbps(&self) -> &[f64] {
+        &self.samples_kbps
+    }
+
+    /// Time-average bandwidth in kbit/s over the recorded duration.
+    pub fn average_kbps(&self) -> f64 {
+        self.samples_kbps.iter().sum::<f64>() / self.samples_kbps.len() as f64
+    }
+
+    /// Minimum sample in kbit/s.
+    pub fn min_kbps(&self) -> f64 {
+        self.samples_kbps.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample in kbit/s.
+    pub fn max_kbps(&self) -> f64 {
+        self.samples_kbps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Multiply every sample by `factor` (e.g. to model link sharing).
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0");
+        Self {
+            samples_kbps: self.samples_kbps.iter().map(|s| s * factor).collect(),
+            interval_s: self.interval_s,
+        }
+    }
+
+    /// Integrate deliverable bytes between `t0` and `t1` at full link rate.
+    ///
+    /// Returns the number of bytes a saturating flow could move across the
+    /// link in `[t0, t1)`. Used by the link model; exposed for tests.
+    pub fn bytes_between(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut t = t0;
+        while t < t1 {
+            // End of the step that contains `t`, or t1, whichever is sooner.
+            let step_end = ((t / self.interval_s).floor() + 1.0) * self.interval_s;
+            let seg_end = step_end.min(t1);
+            let kbps = self.kbps_at(t);
+            total += kbps * 125.0 * (seg_end - t); // kbps -> bytes/s is *125
+            // Guard against zero-progress when t sits exactly on a boundary
+            // due to floating point.
+            if seg_end <= t {
+                t += self.interval_s;
+            } else {
+                t = seg_end;
+            }
+        }
+        total
+    }
+
+    /// Earliest time `t >= t0` by which `bytes` can be delivered at full link
+    /// rate, or `None` if the link is down (zero bandwidth) forever after some
+    /// point and the bytes can never be delivered within `horizon_s`.
+    pub fn time_to_deliver(&self, t0: f64, bytes: f64, horizon_s: f64) -> Option<f64> {
+        if bytes <= 0.0 {
+            return Some(t0);
+        }
+        let mut remaining = bytes;
+        let mut t = t0;
+        let deadline = t0 + horizon_s;
+        while t < deadline {
+            let step_end = ((t / self.interval_s).floor() + 1.0) * self.interval_s;
+            let seg_end = step_end.min(deadline);
+            let rate_bps = self.kbps_at(t) * 125.0;
+            if rate_bps > 0.0 {
+                let deliverable = rate_bps * (seg_end - t);
+                if deliverable >= remaining {
+                    return Some(t + remaining / rate_bps);
+                }
+                remaining -= deliverable;
+            }
+            if seg_end <= t {
+                t += self.interval_s;
+            } else {
+                t = seg_end;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_basics() {
+        let t = BandwidthTrace::constant(1000.0, 10.0);
+        assert_eq!(t.kbps_at(0.0), 1000.0);
+        assert_eq!(t.kbps_at(5.5), 1000.0);
+        assert_eq!(t.kbps_at(1e9), 1000.0); // clamps to last sample
+        assert_eq!(t.duration_s(), 10.0);
+        assert_eq!(t.average_kbps(), 1000.0);
+    }
+
+    #[test]
+    fn step_lookup_respects_intervals() {
+        let t = BandwidthTrace::new(vec![100.0, 200.0, 300.0], 2.0);
+        assert_eq!(t.kbps_at(0.0), 100.0);
+        assert_eq!(t.kbps_at(1.99), 100.0);
+        assert_eq!(t.kbps_at(2.0), 200.0);
+        assert_eq!(t.kbps_at(4.0), 300.0);
+        assert_eq!(t.kbps_at(100.0), 300.0);
+    }
+
+    #[test]
+    fn bytes_between_integrates_steps() {
+        let t = BandwidthTrace::new(vec![8.0, 16.0], 1.0); // 1 KB/s then 2 KB/s
+        let b = t.bytes_between(0.0, 2.0);
+        assert!((b - 3000.0).abs() < 1e-6, "got {b}");
+        // Half of the first step only.
+        let b = t.bytes_between(0.0, 0.5);
+        assert!((b - 500.0).abs() < 1e-6, "got {b}");
+        // Straddling the boundary.
+        let b = t.bytes_between(0.5, 1.5);
+        assert!((b - 1500.0).abs() < 1e-6, "got {b}");
+    }
+
+    #[test]
+    fn time_to_deliver_crosses_steps() {
+        let t = BandwidthTrace::new(vec![8.0, 16.0], 1.0);
+        // 1000 bytes in step 0 takes exactly 1 s.
+        let done = t.time_to_deliver(0.0, 1000.0, 100.0).unwrap();
+        assert!((done - 1.0).abs() < 1e-9);
+        // 2000 bytes: 1 s at 1 KB/s + 0.5 s at 2 KB/s.
+        let done = t.time_to_deliver(0.0, 2000.0, 100.0).unwrap();
+        assert!((done - 1.5).abs() < 1e-9, "got {done}");
+    }
+
+    #[test]
+    fn time_to_deliver_zero_bytes_is_immediate() {
+        let t = BandwidthTrace::constant(100.0, 5.0);
+        assert_eq!(t.time_to_deliver(3.0, 0.0, 10.0), Some(3.0));
+    }
+
+    #[test]
+    fn time_to_deliver_respects_horizon_on_dead_link() {
+        let t = BandwidthTrace::new(vec![0.0], 1.0);
+        assert_eq!(t.time_to_deliver(0.0, 1.0, 60.0), None);
+    }
+
+    #[test]
+    fn outage_then_recovery_delays_delivery() {
+        let t = BandwidthTrace::new(vec![0.0, 0.0, 8.0], 1.0);
+        let done = t.time_to_deliver(0.0, 1000.0, 100.0).unwrap();
+        assert!((done - 3.0).abs() < 1e-9, "got {done}");
+    }
+
+    #[test]
+    fn scaled_halves_rates() {
+        let t = BandwidthTrace::constant(1000.0, 4.0).scaled(0.5);
+        assert_eq!(t.kbps_at(1.0), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_panics() {
+        BandwidthTrace::new(vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_sample_panics() {
+        BandwidthTrace::new(vec![-1.0], 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the network-emulation substrate.
+
+use dtp_simnet::{BandwidthTrace, Link, LinkConfig, TraceConfig, TraceKind, TransferOpts};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        Just(TraceKind::Broadband),
+        Just(TraceKind::Cellular3g),
+        Just(TraceKind::Lte),
+    ]
+}
+
+proptest! {
+    /// Generated traces are always within physical bounds and deterministic.
+    #[test]
+    fn traces_bounded_and_deterministic(
+        kind in arb_kind(),
+        duration in 1.0f64..900.0,
+        seed in 0u64..5000,
+    ) {
+        let cfg = TraceConfig { kind, duration_s: duration, seed };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.min_kbps() >= 0.0);
+        prop_assert!(a.max_kbps() <= 150_000.0);
+        prop_assert!(a.duration_s() >= duration);
+    }
+
+    /// bytes_between is additive: [t0,t1) + [t1,t2) == [t0,t2).
+    #[test]
+    fn bytes_between_additive(
+        samples in proptest::collection::vec(0.0f64..20_000.0, 1..50),
+        t0 in 0.0f64..20.0,
+        d1 in 0.0f64..20.0,
+        d2 in 0.0f64..20.0,
+    ) {
+        let trace = BandwidthTrace::new(samples, 1.0);
+        let t1 = t0 + d1;
+        let t2 = t1 + d2;
+        let whole = trace.bytes_between(t0, t2);
+        let parts = trace.bytes_between(t0, t1) + trace.bytes_between(t1, t2);
+        prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()),
+            "whole={} parts={}", whole, parts);
+    }
+
+    /// Delivering more bytes never finishes earlier.
+    #[test]
+    fn delivery_time_monotone_in_bytes(
+        samples in proptest::collection::vec(1.0f64..20_000.0, 1..40),
+        a in 1.0f64..1e7,
+        extra in 0.0f64..1e7,
+    ) {
+        let trace = BandwidthTrace::new(samples, 1.0);
+        let ta = trace.time_to_deliver(0.0, a, 1e9).expect("positive rates deliver");
+        let tb = trace.time_to_deliver(0.0, a + extra, 1e9).expect("positive rates deliver");
+        prop_assert!(tb >= ta - 1e-9, "more bytes cannot be faster: {} vs {}", tb, ta);
+    }
+
+    /// A link transfer never finishes before the ideal trace-limited time,
+    /// and slow start only delays completion.
+    #[test]
+    fn slow_start_never_speeds_up(
+        kbps in 100.0f64..50_000.0,
+        bytes in 1_000.0f64..5e7,
+    ) {
+        let link = Link::new(BandwidthTrace::constant(kbps, 36_000.0), LinkConfig::default());
+        let fast = link
+            .transfer(0.0, bytes, TransferOpts { slow_start: false, ..Default::default() }, 1e6)
+            .expect("constant positive rate");
+        let slow = link
+            .transfer(0.0, bytes, TransferOpts::default(), 1e6)
+            .expect("constant positive rate");
+        prop_assert!(slow.end_s >= fast.end_s - 1e-9);
+        // And both include the request RTT.
+        let rtt_s = link.config().base_rtt_ms / 1000.0;
+        prop_assert!(fast.end_s >= rtt_s);
+    }
+
+    /// Loss probability is a probability and monotone in utilization.
+    #[test]
+    fn loss_probability_sane(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let link = Link::new(BandwidthTrace::constant(1000.0, 10.0), LinkConfig::cellular());
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let p_lo = link.loss_prob_at(0.0, lo);
+        let p_hi = link.loss_prob_at(0.0, hi);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!(p_hi >= p_lo);
+    }
+}

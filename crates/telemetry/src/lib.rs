@@ -1,0 +1,61 @@
+//! # dtp-telemetry — network measurement data formats and collectors
+//!
+//! The paper contrasts two views of the same traffic (§2.2):
+//!
+//! * **Packet traces** — the most granular data, collected by a capture tap.
+//!   Represented by [`packet::PacketRecord`] (timestamp, direction, size,
+//!   retransmission flag, RTT sample).
+//! * **TLS transactions** — coarse-grained records from a transparent proxy
+//!   (e.g. Squid) that inspects unencrypted TLS headers: start/end time,
+//!   uplink/downlink bytes, and the SNI hostname. Represented by
+//!   [`tls::TlsTransactionRecord`].
+//!
+//! Two further views round out the data-plane inventory:
+//!
+//! * [`http::HttpTransactionRecord`] — per-HTTP-request records, only
+//!   observable for *unencrypted* traffic (or derived offline from packet
+//!   traces, as the paper does for Fig. 2),
+//! * [`flow::FlowRecord`] — NetFlow-style flow summaries, the paper's
+//!   future-work data source, implemented here as an extension.
+//!
+//! [`overhead`] provides the record/byte/time accounting behind the paper's
+//! headline overhead comparison (≈1400× memory and ≈60× compute in Table 4
+//! and §4.2).
+
+pub mod flow;
+pub mod http;
+pub mod overhead;
+pub mod packet;
+pub mod tls;
+
+pub use flow::FlowRecord;
+pub use http::HttpTransactionRecord;
+pub use overhead::{MemoryFootprint, Stopwatch};
+pub use packet::{Direction, PacketCapture, PacketRecord};
+pub use tls::{ProxyLog, TlsTransactionRecord};
+
+/// Everything the measurement plane captured for one video session.
+///
+/// In deployment an ISP collects *one* of these views; the simulator emits
+/// them all from the same ground-truth transfer so estimation quality can be
+/// compared apples-to-apples (paper §4.2, "Comparison with packet traces").
+#[derive(Debug, Clone, Default)]
+pub struct SessionTelemetry {
+    /// Full packet trace (both directions).
+    pub packets: PacketCapture,
+    /// Proxy-exported TLS transactions.
+    pub tls: ProxyLog,
+    /// Per-HTTP-request transactions (derived view).
+    pub http: Vec<HttpTransactionRecord>,
+    /// NetFlow-style flow records (extension).
+    pub flows: Vec<FlowRecord>,
+}
+
+impl SessionTelemetry {
+    /// The paper's Svc1 dataset averages: 27,689 packets vs 19.5 TLS
+    /// transactions per session — a ~1400× record-count gap. This helper
+    /// returns (packet count, TLS transaction count) for such comparisons.
+    pub fn record_counts(&self) -> (usize, usize) {
+        (self.packets.len(), self.tls.len())
+    }
+}

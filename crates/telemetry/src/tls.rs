@@ -1,0 +1,169 @@
+//! TLS transaction records — the paper's coarse-grained data.
+//!
+//! "We consider two kinds of information available in a TLS transaction:
+//! i) start and end time, and uplink and downlink size, and ii) Server Name
+//! Indicator (SNI) field indicating the server hostname." (§2.2)
+
+use std::sync::Arc;
+
+/// One TLS transaction as exported by a transparent proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TlsTransactionRecord {
+    /// Connection establishment time, seconds from capture start.
+    pub start_s: f64,
+    /// Connection end (close or proxy idle timeout), seconds.
+    pub end_s: f64,
+    /// Client → server bytes.
+    pub up_bytes: f64,
+    /// Server → client bytes.
+    pub down_bytes: f64,
+    /// SNI hostname from the ClientHello.
+    pub sni: Arc<str>,
+}
+
+impl TlsTransactionRecord {
+    /// Transaction duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+
+    /// Transaction Data Rate (TDR, §3): downlink bytes over duration, in
+    /// kbit/s. "Note that TDR is not the same as network throughput as there
+    /// can be idle intervals in a TLS transaction" — it is downlink volume
+    /// divided by wall duration.
+    pub fn tdr_kbps(&self) -> f64 {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.down_bytes * 8.0 / 1000.0 / d
+    }
+
+    /// Downlink-to-uplink byte ratio (D2U, §3); 0 when no uplink bytes.
+    pub fn d2u_ratio(&self) -> f64 {
+        if self.up_bytes <= 0.0 {
+            return 0.0;
+        }
+        self.down_bytes / self.up_bytes
+    }
+}
+
+/// The proxy's per-session export: TLS transactions ordered by start time.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyLog {
+    transactions: Vec<TlsTransactionRecord>,
+}
+
+impl ProxyLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a transaction.
+    ///
+    /// # Panics
+    /// Panics if times are negative/non-finite or `end < start`.
+    pub fn push(&mut self, rec: TlsTransactionRecord) {
+        assert!(rec.start_s.is_finite() && rec.start_s >= 0.0, "bad transaction start");
+        assert!(rec.end_s.is_finite() && rec.end_s >= rec.start_s, "end before start");
+        assert!(rec.up_bytes >= 0.0 && rec.down_bytes >= 0.0, "negative byte counts");
+        self.transactions.push(rec);
+    }
+
+    /// Sort by start time.
+    pub fn sort_by_start(&mut self) {
+        self.transactions
+            .sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("finite starts"));
+    }
+
+    /// All transactions in insertion order.
+    pub fn transactions(&self) -> &[TlsTransactionRecord] {
+        &self.transactions
+    }
+
+    /// Consume the log, returning its transactions.
+    pub fn into_transactions(self) -> Vec<TlsTransactionRecord> {
+        self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Total bytes `(uplink, downlink)`.
+    pub fn byte_totals(&self) -> (f64, f64) {
+        let up = self.transactions.iter().map(|t| t.up_bytes).sum();
+        let down = self.transactions.iter().map(|t| t.down_bytes).sum();
+        (up, down)
+    }
+
+    /// Distinct SNI hostnames seen, in first-seen order.
+    pub fn hosts(&self) -> Vec<Arc<str>> {
+        let mut out: Vec<Arc<str>> = Vec::new();
+        for t in &self.transactions {
+            if !out.contains(&t.sni) {
+                out.push(Arc::clone(&t.sni));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: f64, end: f64, up: f64, down: f64, sni: &str) -> TlsTransactionRecord {
+        TlsTransactionRecord { start_s: start, end_s: end, up_bytes: up, down_bytes: down, sni: sni.into() }
+    }
+
+    #[test]
+    fn tdr_is_volume_over_duration() {
+        let t = rec(0.0, 10.0, 1_000.0, 1_250_000.0, "cdn1.svc1.example");
+        assert!((t.tdr_kbps() - 1000.0).abs() < 1e-9);
+        assert!((t.d2u_ratio() - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_transactions_are_safe() {
+        let t = rec(5.0, 5.0, 0.0, 0.0, "x");
+        assert_eq!(t.tdr_kbps(), 0.0);
+        assert_eq!(t.d2u_ratio(), 0.0);
+        assert_eq!(t.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn log_totals_and_hosts() {
+        let mut log = ProxyLog::new();
+        log.push(rec(0.0, 5.0, 100.0, 1000.0, "a.example"));
+        log.push(rec(1.0, 7.0, 200.0, 2000.0, "b.example"));
+        log.push(rec(2.0, 9.0, 300.0, 3000.0, "a.example"));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.byte_totals(), (600.0, 6000.0));
+        let hosts = log.hosts();
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(&*hosts[0], "a.example");
+    }
+
+    #[test]
+    fn sort_by_start_orders() {
+        let mut log = ProxyLog::new();
+        log.push(rec(3.0, 5.0, 1.0, 1.0, "x"));
+        log.push(rec(1.0, 2.0, 1.0, 1.0, "y"));
+        log.sort_by_start();
+        assert_eq!(&*log.transactions()[0].sni, "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn inverted_times_rejected() {
+        ProxyLog::new().push(rec(5.0, 4.0, 0.0, 0.0, "x"));
+    }
+}

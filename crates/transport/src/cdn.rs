@@ -1,0 +1,179 @@
+//! CDN hostname model.
+//!
+//! Streaming services front their media with a fleet of CDN hostnames
+//! (edge caches) plus API hosts for manifests and telemetry. Two properties
+//! matter for the paper:
+//!
+//! * the SNI hostname identifies the *service* (video traffic
+//!   identification, step 2 of Fig. 1), and
+//! * the concrete media hosts are sticky within a session but are very
+//!   likely to change across sessions — the signal the session-boundary
+//!   heuristic uses (§4.2: "The set of servers serving content are likely to
+//!   change when a new session begins").
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which logical endpoint a request goes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostClass {
+    /// Video (and muxed-audio) segment host.
+    Media,
+    /// Separate audio-track host.
+    Audio,
+    /// Manifest / telemetry API host.
+    Api,
+}
+
+/// A service's hostname universe.
+#[derive(Debug, Clone)]
+pub struct CdnModel {
+    service: Arc<str>,
+    media_hosts: Vec<Arc<str>>,
+    audio_hosts: Vec<Arc<str>>,
+    api_host: Arc<str>,
+}
+
+impl CdnModel {
+    /// Build the hostname universe for `service` (e.g. `"svc1"`), with
+    /// `media_host_count` edge hostnames.
+    pub fn new(service: &str, media_host_count: usize) -> Self {
+        assert!(media_host_count >= 2, "need at least two media hosts for rotation");
+        let media_hosts = (0..media_host_count)
+            .map(|i| Arc::from(format!("cdn{i}.media.{service}.example")))
+            .collect();
+        let audio_hosts = (0..media_host_count.div_ceil(2))
+            .map(|i| Arc::from(format!("audio{i}.media.{service}.example")))
+            .collect();
+        Self {
+            service: Arc::from(service),
+            media_hosts,
+            audio_hosts,
+            api_host: Arc::from(format!("api.{service}.example")),
+        }
+    }
+
+    /// The service identifier baked into every hostname.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// All media hostnames.
+    pub fn media_hosts(&self) -> &[Arc<str>] {
+        &self.media_hosts
+    }
+
+    /// True if `sni` belongs to this service — the SNI-based video traffic
+    /// identification of Fig. 1 step 2.
+    pub fn owns_sni(&self, sni: &str) -> bool {
+        sni.ends_with(&format!(".{}.example", self.service))
+    }
+
+    /// Start a new viewing session: pick fresh (likely different) servers.
+    pub fn start_session(&self, seed: u64) -> SessionServers {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xcdcd_cdcd_0000_0001);
+        let media_idx = rng.random_range(0..self.media_hosts.len());
+        let audio_idx = rng.random_range(0..self.audio_hosts.len());
+        SessionServers {
+            model: self.clone(),
+            media_idx,
+            audio_idx,
+            switch_prob: 0.005,
+            rng,
+        }
+    }
+}
+
+/// The server assignment for one session.
+///
+/// Media requests are sticky to one edge host, with a small per-request
+/// probability of being redirected to a different edge mid-session (cache
+/// miss / load balancing), as observed in real CDNs.
+#[derive(Debug)]
+pub struct SessionServers {
+    model: CdnModel,
+    media_idx: usize,
+    audio_idx: usize,
+    switch_prob: f64,
+    rng: StdRng,
+}
+
+impl SessionServers {
+    /// The hostname the next request of `class` goes to.
+    pub fn host_for(&mut self, class: HostClass) -> Arc<str> {
+        match class {
+            HostClass::Media => {
+                if self.rng.random_range(0.0..1.0) < self.switch_prob {
+                    self.media_idx = self.rng.random_range(0..self.model.media_hosts.len());
+                }
+                Arc::clone(&self.model.media_hosts[self.media_idx])
+            }
+            HostClass::Audio => Arc::clone(&self.model.audio_hosts[self.audio_idx]),
+            HostClass::Api => Arc::clone(&self.model.api_host),
+        }
+    }
+
+    /// The underlying CDN model.
+    pub fn model(&self) -> &CdnModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostnames_identify_service() {
+        let cdn = CdnModel::new("svc1", 8);
+        assert!(cdn.owns_sni("cdn3.media.svc1.example"));
+        assert!(cdn.owns_sni("api.svc1.example"));
+        assert!(!cdn.owns_sni("cdn3.media.svc2.example"));
+        assert!(!cdn.owns_sni("evil-svc1.example.com"));
+    }
+
+    #[test]
+    fn sessions_usually_pick_different_servers() {
+        let cdn = CdnModel::new("svc1", 8);
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..30u64 {
+            let mut s = cdn.start_session(seed);
+            distinct.insert(s.host_for(HostClass::Media));
+        }
+        assert!(distinct.len() >= 4, "server diversity across sessions: {}", distinct.len());
+    }
+
+    #[test]
+    fn media_host_is_mostly_sticky_within_session() {
+        let cdn = CdnModel::new("svc1", 8);
+        let mut s = cdn.start_session(1);
+        let first = s.host_for(HostClass::Media);
+        let same = (0..100).filter(|_| s.host_for(HostClass::Media) == first).count();
+        assert!(same >= 80, "sticky within a session, got {same}/100");
+    }
+
+    #[test]
+    fn api_host_is_stable() {
+        let cdn = CdnModel::new("svc2", 4);
+        let mut s = cdn.start_session(9);
+        assert_eq!(s.host_for(HostClass::Api), s.host_for(HostClass::Api));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cdn = CdnModel::new("svc3", 6);
+        let mut a = cdn.start_session(5);
+        let mut b = cdn.start_session(5);
+        for _ in 0..20 {
+            assert_eq!(a.host_for(HostClass::Media), b.host_for(HostClass::Media));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two media hosts")]
+    fn tiny_cdn_rejected() {
+        CdnModel::new("svc1", 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dtp-transport — CDN, TLS connections, and TCP packet synthesis
+//!
+//! The paper's two data views — coarse TLS transactions and fine packet
+//! traces — are *derived views of the same transfers*. This crate produces
+//! both from the player's logical HTTP requests:
+//!
+//! * [`cdn`] — hostname model: each service serves media from a rotating set
+//!   of CDN hosts plus API hosts, and "the set of servers serving content are
+//!   likely to change when a new session begins" (§4.2) — the property the
+//!   session-identification heuristic exploits.
+//! * [`policy`] — per-service TLS connection behaviour (reuse limits, idle
+//!   timeouts). Because "active TLS transactions do not always end
+//!   immediately once the player is closed, but timeout after some duration"
+//!   (§2.2), closed sessions leave trailing transactions that overlap the
+//!   next session.
+//! * [`pool`] — the connection pool that maps HTTP requests onto TLS
+//!   connections and emits [`dtp_telemetry::TlsTransactionRecord`]s, giving
+//!   the paper's many-HTTP-per-TLS aggregation (average 12.1 for Svc1).
+//! * [`tcp`] — synthesizes per-packet records (MSS-sized data, ACKs,
+//!   loss-driven retransmissions, RTT samples) for the ML16 baseline.
+//! * [`stack`] — [`stack::NetworkStack`], the façade `dtp-core` wires to the
+//!   player's fetch interface.
+
+pub mod cdn;
+pub mod policy;
+pub mod pool;
+pub mod stack;
+pub mod tcp;
+
+pub use cdn::{CdnModel, HostClass, SessionServers};
+pub use policy::TlsPolicy;
+pub use pool::ConnectionPool;
+pub use stack::NetworkStack;

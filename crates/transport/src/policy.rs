@@ -1,0 +1,126 @@
+//! Per-service TLS connection behaviour.
+//!
+//! How a client maps HTTP requests onto TLS connections decides how
+//! coarse-grained the proxy's view is: connection reuse hides many HTTP
+//! transactions inside one TLS transaction, and idle timeouts make
+//! transactions outlive the player (§2.2). The paper observes the services
+//! differ here ("differences in service design and TLS transaction
+//! mechanisms across services", §4.2) — so the policy is per-service.
+
+/// TLS/TCP connection management policy of a service's client.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsPolicy {
+    /// A connection unused for this long is closed (proxy reports the
+    /// transaction ending at last-activity + timeout).
+    pub idle_timeout_s: f64,
+    /// Hard cap on connection lifetime; clients rotate connections.
+    pub max_lifetime_s: f64,
+    /// Maximum HTTP requests multiplexed on one connection.
+    pub max_requests: usize,
+    /// Probability a media request opens a fresh connection anyway
+    /// (redirects, range-request parallelism, player quirks).
+    pub churn_prob: f64,
+    /// TLS + TCP handshake uplink bytes (ClientHello etc.).
+    pub handshake_up_bytes: f64,
+    /// Handshake downlink bytes (ServerHello, certificates).
+    pub handshake_down_bytes: f64,
+    /// Handshake latency in RTTs (TCP + TLS 1.3 ≈ 2).
+    pub handshake_rtts: f64,
+    /// Multiplier for TLS record + TCP/IP framing overhead on payload bytes.
+    pub framing_overhead: f64,
+    /// A connection idle longer than this restarts congestion from the
+    /// initial window (RFC 5681 cwnd restart).
+    pub cwnd_idle_reset_s: f64,
+    /// Number of parallel connections the client keeps to its media host
+    /// (browsers and players open several; this makes session starts bursty,
+    /// the first signal of the paper's session-identification heuristic).
+    pub parallel_media_conns: usize,
+}
+
+impl TlsPolicy {
+    /// Svc1-style policy: long-lived, heavily reused connections.
+    pub fn svc1() -> Self {
+        Self {
+            idle_timeout_s: 25.0,
+            max_lifetime_s: 240.0,
+            max_requests: 60,
+            churn_prob: 0.04,
+            handshake_up_bytes: 700.0,
+            handshake_down_bytes: 4_800.0,
+            handshake_rtts: 2.0,
+            framing_overhead: 1.025,
+            cwnd_idle_reset_s: 4.0,
+            parallel_media_conns: 3,
+        }
+    }
+
+    /// Svc2-style policy: shorter reuse windows, more churn.
+    pub fn svc2() -> Self {
+        Self {
+            idle_timeout_s: 15.0,
+            max_lifetime_s: 150.0,
+            max_requests: 40,
+            churn_prob: 0.07,
+            handshake_up_bytes: 650.0,
+            handshake_down_bytes: 4_200.0,
+            handshake_rtts: 2.0,
+            framing_overhead: 1.03,
+            cwnd_idle_reset_s: 4.0,
+            parallel_media_conns: 3,
+        }
+    }
+
+    /// Svc3-style policy: in between.
+    pub fn svc3() -> Self {
+        Self {
+            idle_timeout_s: 20.0,
+            max_lifetime_s: 180.0,
+            max_requests: 50,
+            churn_prob: 0.05,
+            handshake_up_bytes: 680.0,
+            handshake_down_bytes: 4_500.0,
+            handshake_rtts: 2.0,
+            framing_overhead: 1.03,
+            cwnd_idle_reset_s: 4.0,
+            parallel_media_conns: 2,
+        }
+    }
+
+    /// Sanity-check invariants; used by constructors in debug builds.
+    pub fn validate(&self) {
+        assert!(self.idle_timeout_s > 0.0, "idle timeout must be positive");
+        assert!(self.max_lifetime_s > self.idle_timeout_s, "lifetime must exceed idle timeout");
+        assert!(self.max_requests >= 1, "connections must carry requests");
+        assert!((0.0..=1.0).contains(&self.churn_prob), "churn is a probability");
+        assert!(self.framing_overhead >= 1.0, "framing cannot shrink bytes");
+        assert!(self.parallel_media_conns >= 1, "need at least one media connection");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_policies_are_valid() {
+        TlsPolicy::svc1().validate();
+        TlsPolicy::svc2().validate();
+        TlsPolicy::svc3().validate();
+    }
+
+    #[test]
+    fn services_differ_in_reuse() {
+        // Svc1 reuses connections more aggressively than Svc2 — part of why
+        // its HTTP-per-TLS ratio is high.
+        assert!(TlsPolicy::svc1().idle_timeout_s > TlsPolicy::svc2().idle_timeout_s);
+        assert!(TlsPolicy::svc1().max_requests > TlsPolicy::svc2().max_requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime must exceed idle timeout")]
+    fn invalid_policy_caught() {
+        let mut p = TlsPolicy::svc1();
+        p.max_lifetime_s = 1.0;
+        p.validate();
+    }
+}

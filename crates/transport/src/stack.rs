@@ -1,0 +1,301 @@
+//! The per-session network stack: link + CDN + connection pool + capture.
+//!
+//! [`NetworkStack`] is what `dtp-core` plugs into the player's fetch
+//! interface. Each logical HTTP request is routed to a hostname, leased onto
+//! a TLS connection (new or reused), timed against the link (handshake RTTs,
+//! slow start, trace-limited transfer), and mirrored into every telemetry
+//! view: packet capture, HTTP transaction log, and — when the connection
+//! eventually closes — the proxy's TLS transaction record.
+
+use std::sync::Arc;
+
+use dtp_simnet::{Link, TransferOpts};
+use dtp_telemetry::{HttpTransactionRecord, PacketCapture, ProxyLog, SessionTelemetry};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::cdn::{CdnModel, HostClass, SessionServers};
+use crate::policy::TlsPolicy;
+use crate::pool::ConnectionPool;
+use crate::tcp::PacketSynthesis;
+
+/// Initial congestion window for fresh/cold connections (10 × MSS).
+const COLD_CWND_BYTES: f64 = 10.0 * 1448.0;
+/// Congestion window retained by a warm, recently used connection.
+const WARM_CWND_BYTES: f64 = 60.0 * 1448.0;
+/// Per-request delivery deadline; a request that cannot finish in this time
+/// on a dead link aborts the session.
+const REQUEST_HORIZON_S: f64 = 600.0;
+
+/// One session's network stack.
+#[derive(Debug)]
+pub struct NetworkStack {
+    link: Link,
+    servers: SessionServers,
+    pool: ConnectionPool,
+    capture: PacketCapture,
+    http: Vec<HttpTransactionRecord>,
+    synthesis: PacketSynthesis,
+    rng: StdRng,
+    capture_packets: bool,
+    session_started_s: f64,
+}
+
+/// Completion report for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeResult {
+    /// When the response finished.
+    pub end_s: f64,
+    /// False if the link never delivered within the per-request horizon.
+    pub completed: bool,
+}
+
+impl NetworkStack {
+    /// Build a stack for one session.
+    ///
+    /// `capture_packets` can be disabled to skip packet-trace synthesis when
+    /// only the coarse TLS view is needed (the common, cheap case — exactly
+    /// the paper's point).
+    pub fn new(
+        link: Link,
+        cdn: &CdnModel,
+        policy: TlsPolicy,
+        seed: u64,
+        capture_packets: bool,
+    ) -> Self {
+        // Client/OS/proxy deployments vary: idle timeouts and connection
+        // churn differ per device and per proxy build. This jitter is
+        // invisible to the packet view but directly perturbs the TLS
+        // transaction boundaries the coarse view is built from — one reason
+        // packet traces estimate QoE better than proxy logs.
+        let mut jrng = StdRng::seed_from_u64(seed ^ 0x11d1_e000_0007);
+        let mut policy = policy;
+        policy.idle_timeout_s *= jrng.random_range(0.7..1.4);
+        policy.churn_prob = (policy.churn_prob * jrng.random_range(0.5..2.0)).min(0.5);
+        policy.max_lifetime_s *= jrng.random_range(0.8..1.3);
+        Self {
+            link,
+            servers: cdn.start_session(seed),
+            pool: ConnectionPool::new(policy),
+            capture: PacketCapture::new(),
+            http: Vec::new(),
+            synthesis: PacketSynthesis::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0x7a57_7a57_7a57_7a57),
+            capture_packets,
+            session_started_s: 0.0,
+        }
+    }
+
+    /// The link driving this stack.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Perform one HTTP exchange starting at `t`.
+    ///
+    /// Routes to a host for `class`, leases a TLS connection (charging
+    /// handshake latency for fresh ones), transfers `down_bytes` against the
+    /// link, and records all telemetry views.
+    pub fn request(
+        &mut self,
+        t: f64,
+        class: HostClass,
+        up_bytes: f64,
+        down_bytes: f64,
+    ) -> ExchangeResult {
+        let host = self.servers.host_for(class);
+        let parallel_target = match class {
+            HostClass::Media => self.pool.policy().parallel_media_conns,
+            HostClass::Audio | HostClass::Api => 1,
+        };
+        let lease = self.pool.acquire(&host, t, parallel_target, &mut self.rng);
+        let policy = *self.pool.policy();
+
+        let rtt_s = self.link.config().base_rtt_ms / 1000.0;
+        let mut start = t;
+        if lease.fresh {
+            start += policy.handshake_rtts * rtt_s;
+        }
+        let cold = lease.fresh || lease.idle_s > policy.cwnd_idle_reset_s;
+        let init_cwnd = if cold { COLD_CWND_BYTES } else { WARM_CWND_BYTES };
+        let wire_down = down_bytes * policy.framing_overhead;
+        let wire_up = up_bytes * policy.framing_overhead;
+
+        let Some(res) = self.link.transfer(
+            start,
+            wire_down,
+            TransferOpts { share: 1.0, init_cwnd_bytes: init_cwnd, slow_start: true },
+            REQUEST_HORIZON_S,
+        ) else {
+            // Hopeless link: account the attempt and give up. The connection
+            // stays open; the player will abort the session.
+            return ExchangeResult { end_s: t + REQUEST_HORIZON_S, completed: false };
+        };
+        let end = res.end_s;
+
+        // How hard the flow pushed the link while it ran, for loss/queueing.
+        let avail = self.link.kbps_at(start, 1.0).max(1.0);
+        let utilization = (res.mean_kbps() / avail).clamp(0.0, 1.0);
+
+        let (up_pkts, down_pkts) = if self.capture_packets {
+            self.synthesis.synthesize(
+                &self.link,
+                &mut self.rng,
+                t,
+                end,
+                wire_up,
+                wire_down,
+                utilization,
+                &mut self.capture,
+            )
+        } else {
+            // Still track counts for flow records.
+            (
+                (wire_up / 1448.0).ceil() as u32 + (wire_down / (2.0 * 1448.0)).ceil() as u32,
+                (wire_down / 1448.0).ceil() as u32,
+            )
+        };
+
+        self.http.push(HttpTransactionRecord {
+            start_s: t,
+            end_s: end,
+            up_bytes: wire_up,
+            down_bytes: wire_down,
+            host: Arc::clone(&host),
+            connection_id: lease.index as u32,
+        });
+        self.pool.record_usage(lease, end, wire_up, wire_down, up_pkts, down_pkts);
+        ExchangeResult { end_s: end, completed: true }
+    }
+
+    /// The session is over at `t`; finalize all telemetry. Connections time
+    /// out on their own schedule, so TLS transaction end times may exceed `t`.
+    pub fn finish(mut self, _t: f64) -> SessionTelemetry {
+        let (tls_records, flows) = self.pool.into_records();
+        let mut tls = ProxyLog::new();
+        for r in tls_records {
+            tls.push(r);
+        }
+        self.capture.sort_by_time();
+        self.http.sort_by(|a, b| {
+            a.start_s.partial_cmp(&b.start_s).expect("finite start times")
+        });
+        SessionTelemetry { packets: self.capture, tls, http: self.http, flows }
+    }
+
+    /// Offset all record timestamps by `dt` when stitching sessions
+    /// back-to-back — used by the session-identification experiments.
+    pub fn session_started_s(&self) -> f64 {
+        self.session_started_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_simnet::{BandwidthTrace, LinkConfig};
+
+    fn stack(kbps: f64, capture: bool) -> NetworkStack {
+        let link = Link::new(BandwidthTrace::constant(kbps, 3600.0), LinkConfig::default());
+        let cdn = CdnModel::new("svc1", 8);
+        NetworkStack::new(link, &cdn, TlsPolicy::svc1(), 7, capture)
+    }
+
+    #[test]
+    fn request_round_trips_and_logs_all_views() {
+        let mut s = stack(8000.0, true);
+        let r = s.request(0.0, HostClass::Media, 850.0, 1_000_000.0);
+        assert!(r.completed);
+        assert!(r.end_s > 1.0, "1 MB at 1 MB/s plus handshake, got {}", r.end_s);
+        let tel = s.finish(r.end_s);
+        assert_eq!(tel.http.len(), 1);
+        assert_eq!(tel.tls.len(), 1);
+        assert!(!tel.packets.is_empty());
+        assert_eq!(tel.flows.len(), 1);
+        // TLS transaction covers the HTTP transaction.
+        let t = &tel.tls.transactions()[0];
+        let h = &tel.http[0];
+        assert!(t.start_s <= h.start_s);
+        assert!(t.end_s >= h.end_s);
+    }
+
+    #[test]
+    fn fresh_connection_pays_handshake_latency() {
+        // Use the API class (parallel target 1) so the second request reuses
+        // the same warm connection rather than opening a parallel one.
+        let mut cold = stack(8000.0, false);
+        let r1 = cold.request(0.0, HostClass::Api, 850.0, 100_000.0);
+        let r2_start = r1.end_s + 0.1;
+        let r2 = cold.request(r2_start, HostClass::Api, 850.0, 100_000.0);
+        let d1 = r1.end_s - 0.0;
+        let d2 = r2.end_s - r2_start;
+        assert!(d2 < d1, "warm {d2} should beat cold {d1}");
+    }
+
+    #[test]
+    fn many_requests_few_tls_transactions() {
+        let mut s = stack(20_000.0, false);
+        let mut t = 0.0;
+        for _ in 0..30 {
+            let r = s.request(t, HostClass::Media, 850.0, 2_000_000.0);
+            t = r.end_s + 1.0;
+        }
+        let tel = s.finish(t);
+        assert_eq!(tel.http.len(), 30);
+        assert!(
+            tel.tls.len() < 10,
+            "connection reuse must aggregate: {} TLS transactions",
+            tel.tls.len()
+        );
+        // The coarseness ratio the paper highlights.
+        let ratio = tel.http.len() as f64 / tel.tls.len() as f64;
+        assert!(ratio > 3.0, "http-per-tls ratio {ratio}");
+    }
+
+    #[test]
+    fn byte_totals_consistent_across_views() {
+        let mut s = stack(10_000.0, true);
+        let mut t = 0.0;
+        for _ in 0..5 {
+            let r = s.request(t, HostClass::Media, 850.0, 500_000.0);
+            t = r.end_s + 0.5;
+        }
+        let tel = s.finish(t);
+        let (tls_up, tls_down) = tel.tls.byte_totals();
+        let http_down: f64 = tel.http.iter().map(|h| h.down_bytes).sum();
+        // TLS totals = HTTP totals + handshakes.
+        assert!(tls_down >= http_down);
+        assert!(tls_down < http_down + 5.0 * 10_000.0);
+        assert!(tls_up > 0.0);
+    }
+
+    #[test]
+    fn dead_link_reports_incomplete() {
+        let link = Link::new(BandwidthTrace::new(vec![0.0], 1.0), LinkConfig::default());
+        let cdn = CdnModel::new("svc1", 8);
+        let mut s = NetworkStack::new(link, &cdn, TlsPolicy::svc1(), 7, false);
+        let r = s.request(0.0, HostClass::Media, 850.0, 1_000_000.0);
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn api_and_media_use_different_hosts() {
+        let mut s = stack(10_000.0, false);
+        let r1 = s.request(0.0, HostClass::Api, 850.0, 60_000.0);
+        let _r2 = s.request(r1.end_s + 0.1, HostClass::Media, 850.0, 1_000_000.0);
+        let tel = s.finish(10.0);
+        let hosts: std::collections::HashSet<_> =
+            tel.http.iter().map(|h| h.host.clone()).collect();
+        assert_eq!(hosts.len(), 2);
+    }
+
+    #[test]
+    fn packet_capture_can_be_disabled() {
+        let mut s = stack(10_000.0, false);
+        let r = s.request(0.0, HostClass::Media, 850.0, 1_000_000.0);
+        let tel = s.finish(r.end_s);
+        assert!(tel.packets.is_empty());
+        // Flow packet counts are still estimated.
+        assert!(tel.flows[0].down_packets > 0);
+    }
+}

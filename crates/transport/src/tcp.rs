@@ -1,0 +1,232 @@
+//! TCP packet-trace synthesis.
+//!
+//! The ML16 baseline consumes packet-level signals: per-packet timestamps
+//! and sizes, retransmissions, loss, and RTT samples. This module expands a
+//! completed HTTP exchange (request bytes up at `start`, response bytes down
+//! over `[start, end]`) into individual [`PacketRecord`]s with those signals,
+//! drawn from the link's loss/RTT models.
+
+use dtp_simnet::Link;
+use dtp_telemetry::{Direction, PacketCapture, PacketRecord};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Wire parameters for packet synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSynthesis {
+    /// Maximum segment size (TCP payload), bytes.
+    pub mss_bytes: u32,
+    /// Per-packet overhead (Ethernet + IP + TCP headers), bytes.
+    pub header_bytes: u32,
+    /// Pure-ACK size on the wire, bytes.
+    pub ack_bytes: u32,
+    /// One delayed ACK per this many data packets.
+    pub ack_every: u32,
+    /// Take an RTT sample every this many data packets.
+    pub rtt_sample_every: u32,
+}
+
+impl Default for PacketSynthesis {
+    fn default() -> Self {
+        Self { mss_bytes: 1448, header_bytes: 66, ack_bytes: 66, ack_every: 2, rtt_sample_every: 10 }
+    }
+}
+
+impl PacketSynthesis {
+    /// Expand one HTTP exchange into packets, appending to `capture`.
+    ///
+    /// Returns `(uplink_packets, downlink_packets)` added. `utilization`
+    /// (0..=1) scales congestion loss and queueing delay.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize(
+        &self,
+        link: &Link,
+        rng: &mut StdRng,
+        start_s: f64,
+        end_s: f64,
+        up_bytes: f64,
+        down_bytes: f64,
+        utilization: f64,
+        capture: &mut PacketCapture,
+    ) -> (u32, u32) {
+        assert!(end_s >= start_s, "exchange cannot end before it starts");
+        let mut up_count = 0u32;
+        let mut down_count = 0u32;
+
+        // Uplink request packets, sent back-to-back at the start.
+        let up_pkts = div_ceil_f(up_bytes, f64::from(self.mss_bytes));
+        for i in 0..up_pkts {
+            let payload =
+                remaining_payload(up_bytes, i, up_pkts, f64::from(self.mss_bytes));
+            capture.push(PacketRecord {
+                ts_s: start_s + i as f64 * 1e-4,
+                dir: Direction::Up,
+                size_bytes: payload as u32 + self.header_bytes,
+                is_retransmission: false,
+                rtt_ms: None,
+            });
+            up_count += 1;
+        }
+
+        // Downlink data packets, spread across the transfer window.
+        let down_pkts = div_ceil_f(down_bytes, f64::from(self.mss_bytes));
+        if down_pkts == 0 {
+            return (up_count, down_count);
+        }
+        let window = (end_s - start_s).max(1e-4);
+        let spacing = window / down_pkts as f64;
+        let rtt_s = link.config().base_rtt_ms / 1000.0;
+        for i in 0..down_pkts {
+            let ts = start_s + (i as f64 + 0.5) * spacing;
+            let payload = remaining_payload(down_bytes, i, down_pkts, f64::from(self.mss_bytes));
+            let rtt_ms = if i % u64::from(self.rtt_sample_every) == 0 {
+                Some(link.rtt_sample(rng, ts, utilization))
+            } else {
+                None
+            };
+            capture.push(PacketRecord {
+                ts_s: ts,
+                dir: Direction::Down,
+                size_bytes: payload as u32 + self.header_bytes,
+                is_retransmission: false,
+                rtt_ms,
+            });
+            down_count += 1;
+
+            // Loss shows up as a retransmission one RTT later.
+            if rng.random_range(0.0..1.0) < link.loss_prob_at(ts, utilization) {
+                capture.push(PacketRecord {
+                    ts_s: ts + rtt_s,
+                    dir: Direction::Down,
+                    size_bytes: payload as u32 + self.header_bytes,
+                    is_retransmission: true,
+                    rtt_ms: None,
+                });
+                down_count += 1;
+            }
+
+            // Delayed ACKs flow uplink.
+            if i % u64::from(self.ack_every) == self.ack_every as u64 - 1 {
+                capture.push(PacketRecord {
+                    ts_s: ts + rtt_s / 2.0,
+                    dir: Direction::Up,
+                    size_bytes: self.ack_bytes,
+                    is_retransmission: false,
+                    rtt_ms: None,
+                });
+                up_count += 1;
+            }
+        }
+        (up_count, down_count)
+    }
+}
+
+fn div_ceil_f(bytes: f64, mss: f64) -> u64 {
+    if bytes <= 0.0 {
+        return 0;
+    }
+    (bytes / mss).ceil() as u64
+}
+
+fn remaining_payload(total: f64, i: u64, n: u64, mss: f64) -> f64 {
+    if i + 1 == n {
+        total - mss * (n - 1) as f64
+    } else {
+        mss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtp_simnet::{BandwidthTrace, LinkConfig};
+    use rand::SeedableRng;
+
+    fn link() -> Link {
+        Link::new(BandwidthTrace::constant(5000.0, 600.0), LinkConfig::default())
+    }
+
+    #[test]
+    fn packet_counts_match_bytes() {
+        let l = link();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cap = PacketCapture::new();
+        let syn = PacketSynthesis::default();
+        let (up, down) =
+            syn.synthesize(&l, &mut rng, 0.0, 1.0, 900.0, 14_480.0, 0.1, &mut cap);
+        // 900 B -> 1 uplink packet; 14480 B -> exactly 10 data packets,
+        // 5 delayed ACKs (one per 2); retransmissions possible but rare at
+        // low utilization with default loss.
+        assert!(up >= 6, "up={up}");
+        assert!(down >= 10, "down={down}");
+        assert_eq!(cap.len() as u32, up + down);
+    }
+
+    #[test]
+    fn byte_conservation_on_downlink_payloads() {
+        let l = link();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cap = PacketCapture::new();
+        let syn = PacketSynthesis::default();
+        syn.synthesize(&l, &mut rng, 0.0, 2.0, 0.0, 100_000.0, 0.0, &mut cap);
+        let payload: f64 = cap
+            .records()
+            .iter()
+            .filter(|p| p.dir == Direction::Down && !p.is_retransmission)
+            .map(|p| f64::from(p.size_bytes - syn.header_bytes))
+            .sum();
+        assert!((payload - 100_000.0).abs() < 1.0, "payload={payload}");
+    }
+
+    #[test]
+    fn high_utilization_creates_more_retransmissions() {
+        let l = link();
+        let syn = PacketSynthesis::default();
+        let count_retx = |util: f64| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut cap = PacketCapture::new();
+            syn.synthesize(&l, &mut rng, 0.0, 60.0, 0.0, 20_000_000.0, util, &mut cap);
+            cap.retransmission_count()
+        };
+        let low = count_retx(0.05);
+        let high = count_retx(1.0);
+        assert!(high > low * 2, "low={low} high={high}");
+    }
+
+    #[test]
+    fn rtt_samples_present_and_positive() {
+        let l = link();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cap = PacketCapture::new();
+        PacketSynthesis::default()
+            .synthesize(&l, &mut rng, 0.0, 5.0, 0.0, 1_000_000.0, 0.5, &mut cap);
+        let samples = cap.rtt_samples_ms();
+        assert!(!samples.is_empty());
+        assert!(samples.iter().all(|&s| s >= l.config().base_rtt_ms));
+    }
+
+    #[test]
+    fn timestamps_within_window() {
+        let l = link();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cap = PacketCapture::new();
+        PacketSynthesis::default()
+            .synthesize(&l, &mut rng, 10.0, 12.0, 1000.0, 50_000.0, 0.2, &mut cap);
+        for p in cap.records() {
+            assert!(p.ts_s >= 10.0 - 1e-9);
+            // Retransmissions may trail by one RTT.
+            assert!(p.ts_s <= 12.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_byte_exchange_produces_nothing_downlink() {
+        let l = link();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cap = PacketCapture::new();
+        let (up, down) = PacketSynthesis::default()
+            .synthesize(&l, &mut rng, 0.0, 0.0, 0.0, 0.0, 0.0, &mut cap);
+        assert_eq!((up, down), (0, 0));
+        assert!(cap.is_empty());
+    }
+}

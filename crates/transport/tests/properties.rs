@@ -1,0 +1,98 @@
+//! Property-based tests for the transport substrate.
+
+use std::sync::Arc;
+
+use dtp_simnet::{BandwidthTrace, Link, LinkConfig};
+use dtp_transport::cdn::{CdnModel, HostClass};
+use dtp_transport::pool::ConnectionPool;
+use dtp_transport::stack::NetworkStack;
+use dtp_transport::TlsPolicy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// For any request schedule, the pool emits well-formed TLS transactions:
+    /// end ≥ start, non-negative bytes, and byte totals that cover every
+    /// charged exchange plus at least one handshake.
+    #[test]
+    fn pool_transactions_well_formed(
+        gaps in proptest::collection::vec(0.0f64..40.0, 1..40),
+        bytes in proptest::collection::vec(1_000.0f64..5e6, 1..40),
+        seed in 0u64..500,
+    ) {
+        let mut pool = ConnectionPool::new(TlsPolicy::svc1());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let host: Arc<str> = Arc::from("cdn0.media.svc1.example");
+        let mut t = 0.0;
+        let mut charged = 0.0;
+        for (gap, b) in gaps.iter().zip(&bytes) {
+            t += gap;
+            let lease = pool.acquire(&host, t, 2, &mut rng);
+            let end = t + 0.5;
+            pool.record_usage(lease, end, 900.0, *b, 1, (*b / 1448.0) as u32 + 1);
+            charged += *b;
+        }
+        let (tls, flows) = pool.into_records();
+        prop_assert!(!tls.is_empty());
+        prop_assert_eq!(tls.len(), flows.len());
+        let mut total_down = 0.0;
+        for tx in &tls {
+            prop_assert!(tx.end_s >= tx.start_s);
+            prop_assert!(tx.up_bytes >= 0.0 && tx.down_bytes >= 0.0);
+            total_down += tx.down_bytes;
+        }
+        // All charged bytes appear, plus handshake bytes per connection.
+        let handshake = TlsPolicy::svc1().handshake_down_bytes;
+        let expected_min = charged + handshake; // at least one connection
+        prop_assert!(total_down >= expected_min - 1e-6,
+            "total {} < charged {} + handshake", total_down, charged);
+    }
+
+    /// The stack's telemetry views stay consistent for arbitrary request
+    /// sizes and spacings on a constant link.
+    #[test]
+    fn stack_views_consistent(
+        kbps in 500.0f64..50_000.0,
+        sizes in proptest::collection::vec(10_000.0f64..3e6, 1..15),
+        seed in 0u64..200,
+    ) {
+        let link = Link::new(BandwidthTrace::constant(kbps, 36_000.0), LinkConfig::default());
+        let cdn = CdnModel::new("svc1", 8);
+        let mut stack = NetworkStack::new(link, &cdn, TlsPolicy::svc1(), seed, false);
+        let mut t = 0.0;
+        for s in &sizes {
+            let r = stack.request(t, HostClass::Media, 850.0, *s);
+            prop_assert!(r.completed);
+            prop_assert!(r.end_s > t);
+            t = r.end_s + 0.2;
+        }
+        let tel = stack.finish(t);
+        prop_assert_eq!(tel.http.len(), sizes.len());
+        prop_assert!(tel.tls.len() <= tel.http.len() + 1);
+        // Every HTTP transaction lies inside some TLS transaction.
+        for h in &tel.http {
+            let covered = tel.tls.transactions().iter().any(|tx| {
+                tx.sni == h.host && tx.start_s <= h.start_s + 1e-9 && tx.end_s >= h.end_s - 1e-9
+            });
+            prop_assert!(covered);
+        }
+    }
+
+    /// Session-server assignment is deterministic per seed and only ever
+    /// returns hosts owned by the service.
+    #[test]
+    fn cdn_hosts_belong_to_service(seed in 0u64..1000, picks in 1usize..30) {
+        let cdn = CdnModel::new("svc2", 6);
+        let mut s1 = cdn.start_session(seed);
+        let mut s2 = cdn.start_session(seed);
+        for _ in 0..picks {
+            let a = s1.host_for(HostClass::Media);
+            let b = s2.host_for(HostClass::Media);
+            prop_assert_eq!(&a, &b);
+            prop_assert!(cdn.owns_sni(&a));
+        }
+        prop_assert!(cdn.owns_sni(&s1.host_for(HostClass::Api)));
+        prop_assert!(cdn.owns_sni(&s1.host_for(HostClass::Audio)));
+    }
+}

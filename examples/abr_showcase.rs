@@ -1,0 +1,63 @@
+//! Drive the HAS player with every ABR algorithm over the same bandwidth
+//! drop and compare the QoE outcomes — the mechanism behind the paper's
+//! per-service asymmetry (Svc1 degrades quality, Svc2 re-buffers).
+//!
+//! ```sh
+//! cargo run --release --example abr_showcase
+//! ```
+
+use drop_the_packets::hasplayer::abr::AbrKind;
+use drop_the_packets::hasplayer::fetch::{FetchOutcome, FetchRequest, SegmentFetcher};
+use drop_the_packets::hasplayer::player::{Player, PlayerConfig};
+use drop_the_packets::hasplayer::service::{ServiceId, ServiceProfile};
+use drop_the_packets::hasplayer::video::VideoCatalog;
+
+/// 6 Mbps for 60 s, then a hard drop to 400 kbps.
+struct DroppingLink;
+
+impl SegmentFetcher for DroppingLink {
+    fn fetch(&mut self, req: &FetchRequest) -> FetchOutcome {
+        let kbps = if req.start_s < 60.0 { 6000.0 } else { 400.0 };
+        FetchOutcome {
+            end_s: req.start_s + 0.05 + req.response_bytes * 8.0 / 1000.0 / kbps,
+            completed: true,
+        }
+    }
+}
+
+fn main() {
+    println!("bandwidth: 6000 kbps for 60 s, then 400 kbps; watching 240 s\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "ABR", "played(s)", "stall(s)", "rr", "avg kbps", "switches"
+    );
+
+    for abr in [AbrKind::RateConservative, AbrKind::BufferSticky, AbrKind::Hybrid, AbrKind::BolaLike]
+    {
+        // Same profile/content for everyone; only the ABR differs.
+        let mut profile = ServiceProfile::of(ServiceId::Svc2);
+        profile.abr = abr;
+        let catalog = VideoCatalog::generate(5, &profile.ladder, profile.segment_duration_s, 77);
+        let asset = catalog.assets()[0].clone();
+
+        let player = Player::new(PlayerConfig::new(profile.clone(), 240.0));
+        let trace = player.play(&asset, &mut DroppingLink);
+        let gt = &trace.ground_truth;
+        let bitrates: Vec<f64> =
+            asset.ladder.levels().iter().map(|l| l.bitrate_kbps).collect();
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>9.1}% {:>9.0} {:>9}",
+            abr.build().name(),
+            gt.played_s,
+            gt.total_stall_s,
+            gt.rebuffering_ratio() * 100.0,
+            gt.average_bitrate_kbps(&bitrates),
+            gt.quality_switches,
+        );
+    }
+
+    println!(
+        "\nnote the tradeoff: the conservative ABR keeps rr near zero by streaming\n\
+         at a lower average bitrate; the sticky ABR holds bitrate and stalls."
+    );
+}

@@ -1,0 +1,71 @@
+//! Train-centrally / deploy-at-the-proxy: serialize a trained estimator,
+//! restore it in a "different" process, and score sessions plus their
+//! continuous MOS.
+//!
+//! ```sh
+//! cargo run --release --example model_deployment
+//! ```
+
+use drop_the_packets::core::dataset::DatasetBuilder;
+use drop_the_packets::core::estimator::QoeEstimator;
+use drop_the_packets::core::label::QoeMetricKind;
+use drop_the_packets::core::sim::{simulate_session, SessionConfig};
+use drop_the_packets::core::ServiceId;
+use drop_the_packets::hasplayer::MosModel;
+use drop_the_packets::simnet::{TraceConfig, TraceKind};
+
+fn main() {
+    // --- Training side (data center) ---
+    println!("training on 200 Svc2 sessions...");
+    let corpus = DatasetBuilder::new(ServiceId::Svc2).sessions(200).seed(21).build();
+    let estimator = QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0);
+    let blob = estimator.to_json();
+    println!("serialized model: {:.1} KB of JSON", blob.len() as f64 / 1024.0);
+
+    // --- Deployment side (proxy) ---
+    let deployed = QoeEstimator::from_json(&blob).expect("model round-trips");
+    println!("restored model for metric {:?}\n", deployed.metric());
+
+    // Score a handful of fresh sessions; compare against ground truth and
+    // the continuous MOS score.
+    let mos_model = MosModel::default();
+    println!(
+        "{:<8} {:>9} {:>12} {:>10} {:>8}",
+        "session", "avg kbps", "prediction", "truth", "MOS"
+    );
+    for (i, kind) in
+        [TraceKind::Broadband, TraceKind::Lte, TraceKind::Cellular3g, TraceKind::Cellular3g]
+            .iter()
+            .enumerate()
+    {
+        let seed = 9000 + i as u64;
+        let trace = TraceConfig { kind: *kind, duration_s: 700.0, seed }.generate();
+        let avg = trace.average_kbps();
+        let session = simulate_session(&SessionConfig {
+            service: ServiceId::Svc2,
+            trace,
+            kind: *kind,
+            watch_duration_s: 150.0,
+            seed,
+            capture_packets: false,
+        });
+        let predicted = deployed.predict_category(session.telemetry.tls.transactions());
+        let q = drop_the_packets::core::label::quality_category(
+            &session.ground_truth,
+            &session.profile,
+        );
+        let r = drop_the_packets::core::label::rebuffering_label(&session.ground_truth);
+        let truth = drop_the_packets::core::label::combined_label(q, r);
+        let mos = mos_model.score(&session.ground_truth, &session.profile.ladder);
+        println!(
+            "{:<8} {:>9.0} {:>12} {:>10} {:>8.2}",
+            i + 1,
+            avg,
+            format!("{predicted:?}"),
+            format!("{truth:?}"),
+            mos
+        );
+    }
+    println!("\nThe JSON blob is exactly what `dtp train --out model.json` writes and");
+    println!("`dtp predict --model model.json` reads.");
+}

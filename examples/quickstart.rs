@@ -1,0 +1,59 @@
+//! Quickstart: simulate one streaming session, look at both telemetry
+//! views, train a QoE estimator on a small corpus, and classify the session.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use drop_the_packets::core::dataset::DatasetBuilder;
+use drop_the_packets::core::estimator::QoeEstimator;
+use drop_the_packets::core::label::{self, QoeMetricKind};
+use drop_the_packets::core::sim::{simulate_session, SessionConfig};
+use drop_the_packets::core::ServiceId;
+use drop_the_packets::simnet::{TraceConfig, TraceKind};
+
+fn main() {
+    // 1. Stream one Svc1 session over a synthetic LTE trace.
+    let trace = TraceConfig { kind: TraceKind::Lte, duration_s: 900.0, seed: 11 }.generate();
+    println!("trace: avg {:.0} kbps over {:.0} s", trace.average_kbps(), trace.duration_s());
+
+    let session = simulate_session(&SessionConfig {
+        service: ServiceId::Svc1,
+        trace,
+        kind: TraceKind::Lte,
+        watch_duration_s: 180.0,
+        seed: 11,
+        capture_packets: true,
+    });
+
+    // 2. Client-side ground truth (what the paper's JS hooks logged).
+    let gt = &session.ground_truth;
+    println!("\nground truth:");
+    println!("  startup delay     {:.1} s", gt.startup_delay_s);
+    println!("  played            {:.1} s", gt.played_s);
+    println!("  stalls            {:.1} s (rr = {:.2}%)", gt.total_stall_s, gt.rebuffering_ratio() * 100.0);
+    println!("  quality switches  {}", gt.quality_switches);
+    let quality = label::quality_category(gt, &session.profile);
+    let rebuf = label::rebuffering_label(gt);
+    let combined = label::combined_label(quality, rebuf);
+    println!("  labels: quality={quality:?} rebuffering={rebuf:?} combined={combined:?}");
+
+    // 3. What the ISP saw: coarse vs fine.
+    let (packets, tls) = session.telemetry.record_counts();
+    println!("\nISP telemetry:");
+    println!("  {} packets vs {} TLS transactions ({}x fewer records)", packets, tls, packets / tls.max(1));
+    for t in session.telemetry.tls.transactions().iter().take(5) {
+        println!(
+            "  tls {:>7.1}s..{:>7.1}s  up {:>8.0} B  down {:>11.0} B  {}",
+            t.start_s, t.end_s, t.up_bytes, t.down_bytes, t.sni
+        );
+    }
+
+    // 4. Train an estimator on a small corpus and classify this session.
+    println!("\ntraining a Random Forest on 150 simulated Svc1 sessions...");
+    let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(150).seed(1).build();
+    let estimator = QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0);
+    let predicted = estimator.predict_category(session.telemetry.tls.transactions());
+    println!("predicted combined QoE from TLS transactions alone: {predicted:?}");
+    println!("actual combined QoE:                                {combined:?}");
+}

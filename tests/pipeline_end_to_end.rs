@@ -1,0 +1,113 @@
+//! Integration: the full Fig. 1 pipeline, end to end, across every crate —
+//! collection (simulation), identification (SNI + session boundaries), and
+//! inference (features → Random Forest → categorical QoE).
+
+use drop_the_packets::core::dataset::DatasetBuilder;
+use drop_the_packets::core::estimator::QoeEstimator;
+use drop_the_packets::core::identify::classify_stream;
+use drop_the_packets::core::label::{self, QoeMetricKind};
+use drop_the_packets::core::sim::{simulate_session, SessionConfig};
+use drop_the_packets::core::ServiceId;
+use drop_the_packets::features::{extract_tls_features, tls_feature_names};
+use drop_the_packets::simnet::{BandwidthTrace, TraceKind};
+
+fn session(service: ServiceId, kbps: f64, seed: u64) -> drop_the_packets::core::SimulatedSession {
+    simulate_session(&SessionConfig {
+        service,
+        trace: BandwidthTrace::constant(kbps, 800.0),
+        kind: TraceKind::Lte,
+        watch_duration_s: 150.0,
+        seed,
+        capture_packets: false,
+    })
+}
+
+#[test]
+fn good_network_sessions_get_good_labels() {
+    for service in ServiceId::ALL {
+        let s = session(service, 30_000.0, 1);
+        let q = label::quality_category(&s.ground_truth, &s.profile);
+        let r = label::rebuffering_label(&s.ground_truth);
+        assert_eq!(
+            label::combined_label(q, r),
+            label::QoeCategory::High,
+            "{service:?} on a 30 Mbps line must be high QoE (q={q:?}, r={r:?})"
+        );
+    }
+}
+
+#[test]
+fn terrible_network_sessions_get_bad_labels() {
+    for service in ServiceId::ALL {
+        let s = session(service, 180.0, 2);
+        let q = label::quality_category(&s.ground_truth, &s.profile);
+        let r = label::rebuffering_label(&s.ground_truth);
+        assert_eq!(
+            label::combined_label(q, r),
+            label::QoeCategory::Low,
+            "{service:?} at 180 kbps must be low QoE (q={q:?}, r={r:?})"
+        );
+    }
+}
+
+#[test]
+fn tls_features_from_real_sessions_are_well_formed() {
+    let names = tls_feature_names();
+    for service in ServiceId::ALL {
+        let s = session(service, 4_000.0, 3);
+        let f = extract_tls_features(s.telemetry.tls.transactions());
+        assert_eq!(f.len(), names.len());
+        assert!(f.iter().all(|v| v.is_finite()), "{service:?}: {f:?}");
+        // SES_DUR at index 2 must roughly cover the watch duration (plus
+        // trailing idle timeouts).
+        assert!(f[2] >= 100.0, "{service:?} SES_DUR {}", f[2]);
+        // Downlink dominates uplink for video.
+        assert!(f[0] > f[1], "{service:?} SDR_DL {} vs SDR_UL {}", f[0], f[1]);
+    }
+}
+
+#[test]
+fn mixed_traffic_is_identified_per_service() {
+    // Interleave transactions from all three services plus noise.
+    let mut all = Vec::new();
+    for (i, service) in ServiceId::ALL.into_iter().enumerate() {
+        let s = session(service, 5_000.0, 10 + i as u64);
+        all.extend(s.telemetry.tls.transactions().to_vec());
+    }
+    all.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+    let split = classify_stream(&all);
+    assert_eq!(split.len(), 3, "all three services recovered");
+    let total: usize = split.iter().map(|(_, v)| v.len()).sum();
+    assert_eq!(total, all.len(), "no video transaction dropped");
+}
+
+#[test]
+fn estimator_beats_chance_and_detects_extremes() {
+    let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(120).seed(9).build();
+    let cv = QoeEstimator::evaluate(&corpus, QoeMetricKind::Combined, 0);
+    assert!(cv.accuracy() > 0.55, "cv accuracy {}", cv.accuracy());
+
+    let est = QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0);
+    // A clearly great and a clearly terrible fresh session.
+    let good = session(ServiceId::Svc1, 40_000.0, 77);
+    let bad = session(ServiceId::Svc1, 150.0, 78);
+    assert!(
+        !est.predicts_low_qoe(good.telemetry.tls.transactions()),
+        "40 Mbps session flagged low"
+    );
+    assert!(
+        est.predicts_low_qoe(bad.telemetry.tls.transactions()),
+        "150 kbps session not flagged"
+    );
+}
+
+#[test]
+fn corpus_is_deterministic_end_to_end() {
+    let a = DatasetBuilder::new(ServiceId::Svc2).sessions(15).seed(4).build();
+    let b = DatasetBuilder::new(ServiceId::Svc2).sessions(15).seed(4).build();
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.tls_features, rb.tls_features);
+        assert_eq!(ra.combined, rb.combined);
+        assert_eq!(ra.tls_count, rb.tls_count);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use drop_the_packets::features::{extract_tls_features, tls_feature_names};
+use drop_the_packets::hasplayer::fetch::ConstantRateFetcher;
+use drop_the_packets::hasplayer::player::{Player, PlayerConfig};
+use drop_the_packets::hasplayer::service::{ServiceId, ServiceProfile};
+use drop_the_packets::hasplayer::video::VideoCatalog;
+use drop_the_packets::ml::{ConfusionMatrix, Dataset};
+use drop_the_packets::simnet::BandwidthTrace;
+use drop_the_packets::telemetry::TlsTransactionRecord;
+use proptest::prelude::*;
+
+fn arb_transaction() -> impl Strategy<Value = TlsTransactionRecord> {
+    (0.0f64..1000.0, 0.0f64..300.0, 0.0f64..1e5, 0.0f64..1e8, 0usize..4).prop_map(
+        |(start, dur, up, down, host)| TlsTransactionRecord {
+            start_s: start,
+            end_s: start + dur,
+            up_bytes: up,
+            down_bytes: down,
+            sni: format!("cdn{host}.media.svc1.example").into(),
+        },
+    )
+}
+
+proptest! {
+    /// Feature extraction never produces NaN/inf and always 38 values.
+    #[test]
+    fn tls_features_always_finite(txs in proptest::collection::vec(arb_transaction(), 0..40)) {
+        let f = extract_tls_features(&txs);
+        prop_assert_eq!(f.len(), tls_feature_names().len());
+        for v in &f {
+            prop_assert!(v.is_finite(), "non-finite feature: {:?}", f);
+        }
+    }
+
+    /// Temporal cumulative features are monotone in the interval endpoint
+    /// and never exceed the session byte totals.
+    #[test]
+    fn temporal_features_monotone_and_bounded(
+        txs in proptest::collection::vec(arb_transaction(), 1..40)
+    ) {
+        let f = extract_tls_features(&txs);
+        let total_down: f64 = txs.iter().map(|t| t.down_bytes).sum();
+        let total_up: f64 = txs.iter().map(|t| t.up_bytes).sum();
+        for w in f[22..30].windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-6);
+        }
+        for w in f[30..38].windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-6);
+        }
+        prop_assert!(f[29] <= total_down * (1.0 + 1e-9) + 1e-6);
+        prop_assert!(f[37] <= total_up * (1.0 + 1e-9) + 1e-6);
+    }
+
+    /// The player conserves time: played + stalls <= wall clock, rr >= 0,
+    /// level seconds sum to played seconds — for any constant-rate network
+    /// and any watch duration.
+    #[test]
+    fn player_time_conservation(
+        kbps in 100.0f64..50_000.0,
+        watch in 15.0f64..400.0,
+        svc_idx in 0usize..3,
+    ) {
+        let profile = ServiceProfile::of(ServiceId::ALL[svc_idx]);
+        let catalog = VideoCatalog::generate(5, &profile.ladder, profile.segment_duration_s, 1);
+        let asset = catalog.assets()[0].clone();
+        let player = Player::new(PlayerConfig::new(profile, watch));
+        let mut fetcher = ConstantRateFetcher::new(kbps);
+        let tr = player.play(&asset, &mut fetcher);
+        let gt = &tr.ground_truth;
+        prop_assert!(gt.wall_duration_s <= watch + 1e-6);
+        prop_assert!(gt.played_s + gt.total_stall_s + gt.startup_delay_s <= gt.wall_duration_s + 1e-6);
+        prop_assert!(gt.rebuffering_ratio() >= 0.0);
+        let sum: f64 = gt.level_seconds.iter().sum();
+        prop_assert!((sum - gt.played_s).abs() < 1e-6);
+        prop_assert!(gt.played_s <= asset.duration_s + 1e-6);
+    }
+
+    /// Bandwidth traces deliver exactly what their integral promises.
+    #[test]
+    fn trace_delivery_consistent(
+        samples in proptest::collection::vec(0.0f64..10_000.0, 1..60),
+        bytes in 1.0f64..5e7,
+    ) {
+        let trace = BandwidthTrace::new(samples, 1.0);
+        if let Some(t) = trace.time_to_deliver(0.0, bytes, 1e6) {
+            let delivered = trace.bytes_between(0.0, t);
+            prop_assert!((delivered - bytes).abs() < 1.0, "delivered {} vs {}", delivered, bytes);
+        }
+    }
+
+    /// Confusion-matrix identities hold for arbitrary label pairs.
+    #[test]
+    fn confusion_matrix_identities(
+        pairs in proptest::collection::vec((0usize..3, 0usize..3), 1..200)
+    ) {
+        let actual: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let predicted: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let cm = ConfusionMatrix::from_pairs(&actual, &predicted, 3);
+        prop_assert_eq!(cm.total(), pairs.len());
+        prop_assert!(cm.accuracy() >= 0.0 && cm.accuracy() <= 1.0);
+        for c in 0..3 {
+            prop_assert!(cm.recall(c) >= 0.0 && cm.recall(c) <= 1.0);
+            prop_assert!(cm.precision(c) >= 0.0 && cm.precision(c) <= 1.0);
+        }
+        // Row sums equal per-class actual counts.
+        for c in 0..3 {
+            let expect = actual.iter().filter(|&&a| a == c).count();
+            prop_assert_eq!(cm.actual_count(c), expect);
+        }
+    }
+
+    /// Random-forest predictions always land in the label range, and
+    /// probabilities form a distribution — for arbitrary small datasets.
+    #[test]
+    fn forest_predictions_in_range(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-100.0f64..100.0, 4), 0usize..3), 10..60
+        )
+    ) {
+        use drop_the_packets::ml::{Classifier, RandomForest, RandomForestConfig};
+        let x: Vec<Vec<f64>> = rows.iter().map(|r| r.0.clone()).collect();
+        let y: Vec<usize> = rows.iter().map(|r| r.1).collect();
+        let ds = Dataset::new(
+            x.clone(), y,
+            vec!["a".into(), "b".into(), "c".into(), "d".into()], 3,
+        );
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() });
+        f.fit(&ds.features, &ds.labels, 3);
+        for row in &x {
+            let p = f.predict_proba(row);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(f.predict(row) < 3);
+        }
+    }
+}

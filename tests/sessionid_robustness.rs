@@ -1,0 +1,78 @@
+//! Integration: session-identification heuristic on realistic stitched
+//! streams, across services and parameters.
+
+use drop_the_packets::core::sessionid::{
+    evaluate_splitter, stitch_sessions, SessionIdParams, SessionSplitter,
+};
+use drop_the_packets::core::ServiceId;
+
+#[test]
+fn paper_parameters_work_across_services() {
+    for service in ServiceId::ALL {
+        let stream = stitch_sessions(service, 40, 11);
+        let cm = evaluate_splitter(&stream, SessionIdParams::default());
+        assert!(
+            cm.recall(1) > 0.6,
+            "{service:?}: new-session recall {}",
+            cm.recall(1)
+        );
+        assert!(
+            cm.recall(0) > 0.9,
+            "{service:?}: existing recall {}",
+            cm.recall(0)
+        );
+    }
+}
+
+#[test]
+fn single_session_is_never_split() {
+    // A lone session should produce exactly one group (modulo the rare
+    // mid-session CDN switch, so check several seeds and demand most hold).
+    let mut clean = 0;
+    for seed in 0..10 {
+        let stream = stitch_sessions(ServiceId::Svc1, 1, seed);
+        let groups = SessionSplitter::default().split(&stream.transactions);
+        if groups.len() == 1 {
+            clean += 1;
+        }
+    }
+    assert!(clean >= 8, "only {clean}/10 single sessions stayed whole");
+}
+
+#[test]
+fn splitting_recovers_transaction_partition() {
+    let stream = stitch_sessions(ServiceId::Svc2, 10, 21);
+    let groups = SessionSplitter::default().split(&stream.transactions);
+    let total: usize = groups.iter().map(|g| g.len()).sum();
+    assert_eq!(total, stream.transactions.len(), "split loses no transactions");
+    // Group count is a noisy proxy (each false split adds a group, and a
+    // 1-2% false-split rate over ~500 transactions adds several), so only
+    // bound it loosely around the true count.
+    assert!(
+        (5..=30).contains(&groups.len()),
+        "10 sessions detected as {}",
+        groups.len()
+    );
+}
+
+#[test]
+fn window_too_small_finds_nothing() {
+    let stream = stitch_sessions(ServiceId::Svc1, 20, 31);
+    let cm = evaluate_splitter(
+        &stream,
+        SessionIdParams { window_s: 0.01, n_min: 2, delta_min: 0.5 },
+    );
+    assert_eq!(cm.recall(1), 0.0, "a 10 ms window cannot capture a burst");
+    assert!(cm.recall(0) > 0.99);
+}
+
+#[test]
+fn delta_one_requires_fully_fresh_bursts() {
+    let stream = stitch_sessions(ServiceId::Svc1, 30, 41);
+    let strict = evaluate_splitter(
+        &stream,
+        SessionIdParams { window_s: 3.0, n_min: 2, delta_min: 0.999 },
+    );
+    let default = evaluate_splitter(&stream, SessionIdParams::default());
+    assert!(strict.recall(1) <= default.recall(1) + 1e-9);
+}
