@@ -79,4 +79,15 @@ mod tests {
     fn empty_stream_yields_nothing() {
         assert!(classify_stream(&[]).is_empty());
     }
+
+    #[test]
+    fn anonymized_sni_is_dropped_not_fatal() {
+        // A proxy that strips SNI (or a fault-injected blank) must classify
+        // to "not video", never panic or mis-attribute.
+        assert_eq!(service_of_sni(""), None);
+        let stream = vec![tx("", 0.0), tx("cdn0.media.svc1.example", 1.0), tx("", 2.0)];
+        let split = classify_stream(&stream);
+        assert_eq!(split.len(), 1);
+        assert_eq!(split[0].1.len(), 1);
+    }
 }

@@ -42,6 +42,26 @@ impl Default for SessionIdParams {
     }
 }
 
+/// Why a [`SessionIdParams`] was rejected by [`SessionSplitter::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionIdError {
+    /// `window_s` must be finite and strictly positive.
+    NonPositiveWindow,
+    /// `delta_min` must be a fraction in `[0, 1]`.
+    DeltaOutOfRange,
+}
+
+impl std::fmt::Display for SessionIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositiveWindow => write!(f, "window must be finite and positive"),
+            Self::DeltaOutOfRange => write!(f, "delta_min must be a fraction in [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for SessionIdError {}
+
 /// The session-boundary detector.
 #[derive(Debug, Clone, Default)]
 pub struct SessionSplitter {
@@ -49,10 +69,33 @@ pub struct SessionSplitter {
 }
 
 impl SessionSplitter {
-    /// Detector with custom parameters.
-    pub fn new(params: SessionIdParams) -> Self {
-        assert!(params.window_s > 0.0, "window must be positive");
-        assert!((0.0..=1.0).contains(&params.delta_min), "delta_min is a fraction");
+    /// Detector with validated parameters.
+    ///
+    /// # Errors
+    /// Rejects a non-positive (or non-finite) window and a `delta_min`
+    /// outside `[0, 1]`.
+    pub fn try_new(params: SessionIdParams) -> Result<Self, SessionIdError> {
+        if !params.window_s.is_finite() || params.window_s <= 0.0 {
+            return Err(SessionIdError::NonPositiveWindow);
+        }
+        if !params.delta_min.is_finite() || !(0.0..=1.0).contains(&params.delta_min) {
+            return Err(SessionIdError::DeltaOutOfRange);
+        }
+        Ok(Self { params })
+    }
+
+    /// Detector with custom parameters, repairing invalid ones: a
+    /// non-positive window falls back to the paper default and `delta_min`
+    /// saturates into `[0, 1]`. Use [`SessionSplitter::try_new`] to surface
+    /// the problem instead.
+    pub fn new(mut params: SessionIdParams) -> Self {
+        if !params.window_s.is_finite() || params.window_s <= 0.0 {
+            params.window_s = SessionIdParams::default().window_s;
+        }
+        if !params.delta_min.is_finite() {
+            params.delta_min = SessionIdParams::default().delta_min;
+        }
+        params.delta_min = params.delta_min.clamp(0.0, 1.0);
         Self { params }
     }
 
@@ -61,18 +104,32 @@ impl SessionSplitter {
         &self.params
     }
 
-    /// For each transaction (must be sorted by `start_s`), decide whether it
-    /// starts a new session.
+    /// For each transaction, decide whether it starts a new session.
     ///
-    /// # Panics
-    /// Panics if the transactions are not sorted by start time.
+    /// Input should be sorted by `start_s`; out-of-order streams (e.g. after
+    /// clock jitter upstream) are tolerated by detecting over a sorted view
+    /// and mapping the verdicts back to the caller's positions.
     pub fn detect(&self, transactions: &[TlsTransactionRecord]) -> Vec<bool> {
-        for w in transactions.windows(2) {
-            assert!(
-                w[0].start_s <= w[1].start_s + 1e-9,
-                "transactions must be sorted by start time"
-            );
+        let sorted = transactions
+            .windows(2)
+            .all(|w| w[0].start_s <= w[1].start_s + 1e-9);
+        if sorted {
+            return self.detect_sorted(transactions);
         }
+        let mut order: Vec<usize> = (0..transactions.len()).collect();
+        order.sort_by(|&a, &b| transactions[a].start_s.total_cmp(&transactions[b].start_s));
+        let view: Vec<TlsTransactionRecord> =
+            order.iter().map(|&i| transactions[i].clone()).collect();
+        let flags = self.detect_sorted(&view);
+        let mut out = vec![false; transactions.len()];
+        for (pos, &orig) in order.iter().enumerate() {
+            out[orig] = flags[pos];
+        }
+        out
+    }
+
+    /// Detection over a stream already sorted by start time.
+    fn detect_sorted(&self, transactions: &[TlsTransactionRecord]) -> Vec<bool> {
         let mut out = vec![false; transactions.len()];
         let mut seen: HashSet<Arc<str>> = HashSet::new();
         for i in 0..transactions.len() {
@@ -128,8 +185,11 @@ pub struct BackToBackStream {
 
 /// Simulate `n_sessions` consecutive sessions of one service, as the paper's
 /// "extreme case" where every session is streamed back-to-back (§4.2).
+/// `n_sessions == 0` yields an empty stream.
 pub fn stitch_sessions(service: ServiceId, n_sessions: usize, seed: u64) -> BackToBackStream {
-    assert!(n_sessions >= 1, "need at least one session");
+    if n_sessions == 0 {
+        return BackToBackStream { transactions: Vec::new(), truth_new: Vec::new(), session_count: 0 };
+    }
     let traces = TraceCorpus::paper_mix(n_sessions, seed ^ 0x0bac_c000_0001);
     let mut tagged: Vec<(TlsTransactionRecord, bool)> = Vec::new();
     let mut offset = 0.0f64;
@@ -144,7 +204,7 @@ pub fn stitch_sessions(service: ServiceId, n_sessions: usize, seed: u64) -> Back
         };
         let session = simulate_session(&cfg);
         let mut txs = session.telemetry.tls.into_transactions();
-        txs.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("finite"));
+        txs.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
         let earliest = txs.first().map(|t| t.start_s).unwrap_or(0.0);
         for (j, mut t) in txs.into_iter().enumerate() {
             t.start_s += offset;
@@ -156,7 +216,7 @@ pub fn stitch_sessions(service: ServiceId, n_sessions: usize, seed: u64) -> Back
         // (back-to-back), with a small click-through gap.
         offset += session.ground_truth.wall_duration_s.max(1.0) + 0.5;
     }
-    tagged.sort_by(|a, b| a.0.start_s.partial_cmp(&b.0.start_s).expect("finite"));
+    tagged.sort_by(|a, b| a.0.start_s.total_cmp(&b.0.start_s));
     let truth_new = tagged.iter().map(|(_, n)| *n).collect();
     let transactions = tagged.into_iter().map(|(t, _)| t).collect();
     BackToBackStream { transactions, truth_new, session_count: n_sessions }
@@ -246,10 +306,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted by start time")]
-    fn unsorted_input_rejected() {
-        let stream = vec![tx(5.0, "a"), tx(1.0, "b")];
-        SessionSplitter::default().detect(&stream);
+    fn unsorted_input_tolerated() {
+        // Same burst as burst_of_new_servers_triggers_boundary, shuffled:
+        // the verdicts must match the sorted run, mapped to input positions.
+        let sorted = [
+            tx(0.0, "a"),
+            tx(0.5, "b"),
+            tx(50.0, "a"),
+            tx(100.0, "c"),
+            tx(100.8, "d"),
+            tx(101.5, "e"),
+        ];
+        let shuffled = vec![
+            sorted[4].clone(),
+            sorted[0].clone(),
+            sorted[3].clone(),
+            sorted[5].clone(),
+            sorted[1].clone(),
+            sorted[2].clone(),
+        ];
+        let det = SessionSplitter::default().detect(&shuffled);
+        assert_eq!(det, vec![false, false, true, false, false, false], "{det:?}");
+    }
+
+    #[test]
+    fn invalid_params_repaired_or_rejected() {
+        let bad = SessionIdParams { window_s: f64::NAN, n_min: 2, delta_min: 7.0 };
+        assert_eq!(SessionSplitter::try_new(bad).err(), Some(SessionIdError::NonPositiveWindow));
+        let repaired = SessionSplitter::new(bad);
+        assert_eq!(repaired.params().window_s, 3.0);
+        assert_eq!(repaired.params().delta_min, 1.0);
+        assert!(SessionSplitter::try_new(SessionIdParams::default()).is_ok());
+    }
+
+    #[test]
+    fn zero_sessions_is_empty_stream() {
+        let stream = stitch_sessions(ServiceId::Svc1, 0, 1);
+        assert!(stream.transactions.is_empty());
+        assert_eq!(stream.session_count, 0);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Deterministic fault injection for the telemetry → inference pipeline.
+//!
+//! Real proxy exports are messy: records get lost or duplicated in the
+//! collection pipeline, proxies merge back-to-back connections under one
+//! idle timeout, capture clocks skew and jitter, captures stop mid-session,
+//! SNIs are anonymized away, and timestamps arrive inverted. The paper's
+//! pipeline (Fig. 1) has to degrade gracefully under all of this; this crate
+//! makes the mess reproducible.
+//!
+//! A [`FaultPlan`] composes per-fault rates; a [`FaultInjector`] applies the
+//! plan to a [`TlsTransactionRecord`] stream or an emulated bandwidth trace.
+//! Everything is a pure function of `(plan, seed, input)` — the same triple
+//! always yields the identical perturbed stream, and a plan with all rates
+//! zero is the identity. Every applied fault is tallied in a
+//! [`FaultReport`], so experiments can correlate degradation curves with
+//! what was actually injected.
+//!
+//! [`TlsTransactionRecord`]: dtp_telemetry::TlsTransactionRecord
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{FaultInjector, FaultReport};
+pub use plan::{FaultKind, FaultPlan};

@@ -1,0 +1,232 @@
+//! Fault taxonomy and composable per-fault rates.
+
+/// The kinds of corruption the injector can apply.
+///
+/// Record-level kinds perturb individual TLS transactions; stream-level
+/// kinds act once per capture; link-level kinds perturb the emulated
+/// network itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A record is lost by the collection pipeline.
+    Drop,
+    /// A record is exported twice.
+    Duplicate,
+    /// Two adjacent same-host records are merged under one proxy idle
+    /// timeout.
+    IdleTimeoutMerge,
+    /// The SNI field is missing or anonymized to an empty string.
+    MissingSni,
+    /// `end_s` collapses onto or before `start_s` (negative/zero duration).
+    CorruptDuration,
+    /// Constant clock offset plus per-record timestamp jitter.
+    ClockSkewJitter,
+    /// The capture stops mid-session, losing the tail of the stream.
+    TruncatedCapture,
+    /// Link bandwidth collapses mid-session.
+    BandwidthCollapse,
+}
+
+impl FaultKind {
+    /// All kinds, in report order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::IdleTimeoutMerge,
+        FaultKind::MissingSni,
+        FaultKind::CorruptDuration,
+        FaultKind::ClockSkewJitter,
+        FaultKind::TruncatedCapture,
+        FaultKind::BandwidthCollapse,
+    ];
+
+    /// Stable lowercase name (used as JSON keys in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::IdleTimeoutMerge => "idle_timeout_merge",
+            FaultKind::MissingSni => "missing_sni",
+            FaultKind::CorruptDuration => "corrupt_duration",
+            FaultKind::ClockSkewJitter => "clock_skew_jitter",
+            FaultKind::TruncatedCapture => "truncated_capture",
+            FaultKind::BandwidthCollapse => "bandwidth_collapse",
+        }
+    }
+}
+
+/// How much of each fault to inject. Compose with the `with_*` builders;
+/// [`FaultPlan::none`] is the identity plan.
+///
+/// Rates are probabilities in `[0, 1]` (clamped on construction). Per-record
+/// rates apply independently to each transaction; `truncate_rate` and
+/// `collapse_rate` are per-stream/per-session event probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-record probability a record is dropped.
+    pub drop_rate: f64,
+    /// Per-record probability a record is exported twice.
+    pub duplicate_rate: f64,
+    /// Per-eligible-pair probability that adjacent same-host records merge.
+    pub merge_rate: f64,
+    /// Per-record probability the SNI is blanked.
+    pub missing_sni_rate: f64,
+    /// Per-record probability the duration becomes zero or negative.
+    pub corrupt_duration_rate: f64,
+    /// Constant offset added to every timestamp, seconds (may be negative).
+    pub clock_skew_s: f64,
+    /// Half-width of uniform per-record timestamp jitter, seconds.
+    pub jitter_s: f64,
+    /// Per-stream probability the capture is truncated mid-session.
+    pub truncate_rate: f64,
+    /// Per-session probability the link bandwidth collapses mid-session.
+    pub collapse_rate: f64,
+    /// Multiplier applied to bandwidth after the collapse point.
+    pub collapse_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults of any kind.
+    pub fn none() -> Self {
+        Self {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            merge_rate: 0.0,
+            missing_sni_rate: 0.0,
+            corrupt_duration_rate: 0.0,
+            clock_skew_s: 0.0,
+            jitter_s: 0.0,
+            truncate_rate: 0.0,
+            collapse_rate: 0.0,
+            collapse_factor: 0.1,
+        }
+    }
+
+    /// A plan exercising every fault kind at intensity `rate`: all event
+    /// probabilities are `rate`, the clock skews by `30·rate` seconds and
+    /// jitters by `±2·rate` seconds. `uniform(0.0)` equals
+    /// [`FaultPlan::none`]; the robustness sweep drives this knob from 0 to
+    /// 0.3.
+    pub fn uniform(rate: f64) -> Self {
+        let rate = clamp_rate(rate);
+        Self {
+            drop_rate: rate,
+            duplicate_rate: rate,
+            merge_rate: rate,
+            missing_sni_rate: rate,
+            corrupt_duration_rate: rate,
+            clock_skew_s: 30.0 * rate,
+            jitter_s: 2.0 * rate,
+            truncate_rate: rate,
+            collapse_rate: rate,
+            collapse_factor: 0.1,
+        }
+    }
+
+    /// Set the record-drop rate.
+    pub fn with_drops(mut self, rate: f64) -> Self {
+        self.drop_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set the record-duplication rate.
+    pub fn with_duplicates(mut self, rate: f64) -> Self {
+        self.duplicate_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set the proxy idle-timeout merge rate.
+    pub fn with_merges(mut self, rate: f64) -> Self {
+        self.merge_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set the missing/anonymized-SNI rate.
+    pub fn with_missing_sni(mut self, rate: f64) -> Self {
+        self.missing_sni_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set the negative/zero-duration corruption rate.
+    pub fn with_corrupt_durations(mut self, rate: f64) -> Self {
+        self.corrupt_duration_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set constant clock skew and per-record jitter, in seconds.
+    pub fn with_clock(mut self, skew_s: f64, jitter_s: f64) -> Self {
+        self.clock_skew_s = if skew_s.is_finite() { skew_s } else { 0.0 };
+        self.jitter_s = if jitter_s.is_finite() { jitter_s.max(0.0) } else { 0.0 };
+        self
+    }
+
+    /// Set the per-stream capture-truncation probability.
+    pub fn with_truncation(mut self, rate: f64) -> Self {
+        self.truncate_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Set the mid-session bandwidth-collapse probability and severity
+    /// (`factor` multiplies post-collapse bandwidth; 0.1 means a 90% drop).
+    pub fn with_bandwidth_collapse(mut self, rate: f64, factor: f64) -> Self {
+        self.collapse_rate = clamp_rate(rate);
+        self.collapse_factor = if factor.is_finite() { factor.clamp(0.0, 1.0) } else { 0.1 };
+        self
+    }
+
+    /// True when this plan can never alter any input.
+    pub fn is_identity(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.merge_rate == 0.0
+            && self.missing_sni_rate == 0.0
+            && self.corrupt_duration_rate == 0.0
+            && self.clock_skew_s == 0.0
+            && self.jitter_s == 0.0
+            && self.truncate_rate == 0.0
+            && self.collapse_rate == 0.0
+    }
+}
+
+fn clamp_rate(rate: f64) -> f64 {
+    if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        assert!(FaultPlan::none().is_identity());
+        assert!(FaultPlan::uniform(0.0).is_identity());
+        assert!(!FaultPlan::uniform(0.1).is_identity());
+        assert!(!FaultPlan::none().with_clock(1.0, 0.0).is_identity());
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let p = FaultPlan::none().with_drops(2.0).with_duplicates(-1.0).with_merges(f64::NAN);
+        assert_eq!(p.drop_rate, 1.0);
+        assert_eq!(p.duplicate_rate, 0.0);
+        assert_eq!(p.merge_rate, 0.0);
+        let p = FaultPlan::uniform(7.0);
+        assert_eq!(p.drop_rate, 1.0);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the fault injector.
+//!
+//! The injector must be a pure function of `(plan, seed, input)` — the
+//! robustness sweep's degradation curves are only meaningful if the same
+//! configuration corrupts the same stream the same way every time — and the
+//! identity plan must be bit-for-bit transparent.
+
+use std::sync::Arc;
+
+use dtp_faults::{FaultInjector, FaultPlan};
+use dtp_telemetry::TlsTransactionRecord;
+use proptest::prelude::*;
+
+const SNIS: [&str; 4] =
+    ["cdn0.media.svc1.example", "cdn1.media.svc1.example", "api.svc1.example", ""];
+
+fn arb_record() -> impl Strategy<Value = TlsTransactionRecord> {
+    (0.0f64..600.0, 0.0f64..120.0, 0.0f64..1e4, 0.0f64..1e8, 0usize..SNIS.len()).prop_map(
+        |(start, dur, up, down, sni)| TlsTransactionRecord {
+            start_s: start,
+            end_s: start + dur,
+            up_bytes: up,
+            down_bytes: down,
+            sni: Arc::from(SNIS[sni]),
+        },
+    )
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<TlsTransactionRecord>> {
+    proptest::collection::vec(arb_record(), 0..40).prop_map(|mut txs| {
+        txs.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        txs
+    })
+}
+
+proptest! {
+    /// Same seed + same plan ⇒ byte-identical perturbed stream and report,
+    /// for any input stream and any uniform fault rate.
+    #[test]
+    fn injection_is_deterministic(
+        txs in arb_stream(),
+        rate in 0.0f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = FaultInjector::new(FaultPlan::uniform(rate), seed);
+        let b = FaultInjector::new(FaultPlan::uniform(rate), seed);
+        let (out_a, rep_a) = a.perturb_transactions(&txs);
+        let (out_b, rep_b) = b.perturb_transactions(&txs);
+        prop_assert_eq!(&out_a, &out_b);
+        prop_assert_eq!(rep_a.total_faults(), rep_b.total_faults());
+        prop_assert_eq!(rep_a.output_records, rep_b.output_records);
+        // Per-item derivation is deterministic too.
+        let (item_a, _) = a.for_item(7).perturb_transactions(&txs);
+        let (item_b, _) = b.for_item(7).perturb_transactions(&txs);
+        prop_assert_eq!(&item_a, &item_b);
+    }
+
+    /// The identity plan is bit-for-bit transparent at any seed.
+    #[test]
+    fn zero_rate_is_identity(txs in arb_stream(), seed in 0u64..1_000_000) {
+        let inj = FaultInjector::new(FaultPlan::none(), seed);
+        let (out, report) = inj.perturb_transactions(&txs);
+        prop_assert_eq!(&out, &txs);
+        prop_assert_eq!(report.total_faults(), 0);
+        prop_assert_eq!(report.input_records, txs.len());
+        prop_assert_eq!(report.output_records, txs.len());
+    }
+
+    /// Accounting invariants hold for any plan: the report's input/output
+    /// counts match reality, and duplication is the only fault that can grow
+    /// the stream — output never exceeds input + duplicated.
+    #[test]
+    fn report_accounts_for_every_record(
+        txs in arb_stream(),
+        rate in 0.0f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let inj = FaultInjector::new(FaultPlan::uniform(rate), seed);
+        let (out, report) = inj.perturb_transactions(&txs);
+        prop_assert_eq!(report.input_records, txs.len());
+        prop_assert_eq!(report.output_records, out.len());
+        prop_assert!(out.len() <= txs.len() + report.duplicated,
+            "output {} exceeds input {} + duplicated {}",
+            out.len(), txs.len(), report.duplicated);
+    }
+
+    /// A drops-only plan only ever removes records: the output is a
+    /// subsequence of the input.
+    #[test]
+    fn drops_yield_a_subsequence(
+        txs in arb_stream(),
+        rate in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let inj = FaultInjector::new(FaultPlan::none().with_drops(rate), seed);
+        let (out, report) = inj.perturb_transactions(&txs);
+        prop_assert_eq!(out.len() + report.dropped, txs.len());
+        let mut cursor = 0usize;
+        for rec in &out {
+            let pos = txs[cursor..].iter().position(|t| t == rec);
+            prop_assert!(pos.is_some(), "output record not found in input order");
+            cursor += pos.unwrap() + 1;
+        }
+    }
+
+    /// SNI blanking at rate 1 leaves every record's SNI empty and nothing
+    /// else changed — the sweep's 100%-anonymized case.
+    #[test]
+    fn full_sni_blanking_touches_only_sni(txs in arb_stream(), seed in 0u64..1_000_000) {
+        let inj = FaultInjector::new(FaultPlan::none().with_missing_sni(1.0), seed);
+        let (out, report) = inj.perturb_transactions(&txs);
+        prop_assert_eq!(out.len(), txs.len());
+        prop_assert_eq!(report.sni_removed, txs.len());
+        for (a, b) in txs.iter().zip(&out) {
+            prop_assert!(b.sni.is_empty());
+            prop_assert_eq!(a.start_s, b.start_s);
+            prop_assert_eq!(a.end_s, b.end_s);
+            prop_assert_eq!(a.up_bytes, b.up_bytes);
+            prop_assert_eq!(a.down_bytes, b.down_bytes);
+        }
+    }
+}

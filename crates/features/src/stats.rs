@@ -21,7 +21,9 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats input"));
+    // total_cmp keeps this panic-free on hostile input; NaNs sort to the
+    // ends and are the caller's problem (feature extraction imputes them).
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

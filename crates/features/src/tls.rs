@@ -89,20 +89,79 @@ pub fn tls_feature_names_with_intervals(intervals_s: &[f64]) -> Vec<String> {
     names
 }
 
+/// Data-quality summary attached to an extracted feature vector.
+///
+/// Fault-injected or real-world streams can carry inverted times, blanked
+/// SNIs, or partial captures; extraction always succeeds, and this records
+/// how much repair it took so models can weigh or drop degraded vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeatureQuality {
+    /// The session had no transactions at all (vector is all zeros).
+    pub empty_input: bool,
+    /// Features that came out non-finite and were imputed to 0.0.
+    pub imputed: usize,
+    /// Input records carrying at least one ingest [`Validity`] flag.
+    ///
+    /// [`Validity`]: dtp_telemetry::Validity
+    pub suspect_records: usize,
+}
+
+impl FeatureQuality {
+    /// True when extraction needed no repair at all.
+    pub fn is_pristine(&self) -> bool {
+        *self == FeatureQuality::default()
+    }
+}
+
 /// Extract the full 38-feature vector from a session's TLS transactions.
 ///
 /// Transactions need not be sorted. An empty slice yields all zeros (a
-/// session the proxy never saw).
+/// session the proxy never saw). The vector is always finite: non-finite
+/// intermediate values are imputed to 0.0 (use
+/// [`extract_tls_features_checked`] to observe when that happens).
 pub fn extract_tls_features(transactions: &[TlsTransactionRecord]) -> Vec<f64> {
     extract_tls_features_with_intervals(transactions, &TEMPORAL_INTERVALS_S)
 }
 
+/// Checked extraction: the feature vector plus a [`FeatureQuality`] report
+/// saying how much imputation the input required.
+pub fn extract_tls_features_checked(
+    transactions: &[TlsTransactionRecord],
+) -> (Vec<f64>, FeatureQuality) {
+    extract_tls_features_checked_with_intervals(transactions, &TEMPORAL_INTERVALS_S)
+}
+
 /// Extraction with custom temporal intervals (§3 treats the interval set as
-/// a model hyperparameter an ISP can tune).
+/// a model hyperparameter an ISP can tune). Always finite, like
+/// [`extract_tls_features`].
 pub fn extract_tls_features_with_intervals(
     transactions: &[TlsTransactionRecord],
     intervals_s: &[f64],
 ) -> Vec<f64> {
+    extract_tls_features_checked_with_intervals(transactions, intervals_s).0
+}
+
+/// Checked extraction with custom intervals.
+pub fn extract_tls_features_checked_with_intervals(
+    transactions: &[TlsTransactionRecord],
+    intervals_s: &[f64],
+) -> (Vec<f64>, FeatureQuality) {
+    let mut out = raw_features(transactions, intervals_s);
+    let mut quality = FeatureQuality {
+        empty_input: transactions.is_empty(),
+        imputed: 0,
+        suspect_records: transactions.iter().filter(|t| !t.validity().is_clean()).count(),
+    };
+    for v in &mut out {
+        if !v.is_finite() {
+            *v = 0.0;
+            quality.imputed += 1;
+        }
+    }
+    (out, quality)
+}
+
+fn raw_features(transactions: &[TlsTransactionRecord], intervals_s: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(22 + 2 * intervals_s.len());
     if transactions.is_empty() {
         out.resize(22 + 2 * intervals_s.len(), 0.0);
@@ -123,7 +182,7 @@ pub fn extract_tls_features_with_intervals(
 
     // --- Transaction statistics ---
     let mut starts: Vec<f64> = transactions.iter().map(|t| t.start_s).collect();
-    starts.sort_by(|a, b| a.partial_cmp(b).expect("finite starts"));
+    starts.sort_by(f64::total_cmp);
     let iat: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
 
     let dl: Vec<f64> = transactions.iter().map(|t| t.down_bytes).collect();
@@ -321,6 +380,35 @@ mod tests {
         for g in FeatureGroup::ALL {
             assert_eq!(g.names(), full[..g.len()].to_vec());
         }
+    }
+
+    #[test]
+    fn hostile_input_never_yields_non_finite_features() {
+        // Inverted times, NaN bytes, negative starts — the worst a skewed,
+        // corrupted capture can offer.
+        let txs = vec![
+            tx(50.0, 10.0, 100.0, 1_000.0),
+            tx(-5.0, 3.0, f64::NAN, 1_000.0),
+            tx(0.0, 0.0, 0.0, f64::INFINITY),
+            tx(f64::NAN, 2.0, 1.0, 1.0),
+        ];
+        let (f, q) = extract_tls_features_checked(&txs);
+        assert_eq!(f.len(), 38);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        assert!(q.imputed > 0, "NaN inputs must be reported as imputations");
+        assert_eq!(q.suspect_records, 4);
+        assert!(!q.is_pristine());
+    }
+
+    #[test]
+    fn clean_input_reports_pristine_quality() {
+        let txs = vec![tx(0.0, 10.0, 1_000.0, 1_000_000.0)];
+        let (f, q) = extract_tls_features_checked(&txs);
+        assert!(q.is_pristine(), "{q:?}");
+        assert_eq!(f, extract_tls_features(&txs));
+        let (_, q_empty) = extract_tls_features_checked(&[]);
+        assert!(q_empty.empty_input);
+        assert_eq!(q_empty.imputed, 0);
     }
 
     #[test]

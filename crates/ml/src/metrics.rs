@@ -10,21 +10,21 @@
 pub struct ConfusionMatrix {
     counts: Vec<Vec<usize>>,
     n_classes: usize,
+    out_of_range: usize,
 }
 
 impl ConfusionMatrix {
-    /// Empty matrix for `n_classes`.
+    /// Empty matrix for `n_classes`, saturated up to the 2-class minimum a
+    /// confusion matrix needs to mean anything.
     pub fn new(n_classes: usize) -> Self {
-        assert!(n_classes >= 2, "need at least two classes");
-        Self { counts: vec![vec![0; n_classes]; n_classes], n_classes }
+        let n_classes = n_classes.max(2);
+        Self { counts: vec![vec![0; n_classes]; n_classes], n_classes, out_of_range: 0 }
     }
 
-    /// Build from parallel actual/predicted label slices.
-    ///
-    /// # Panics
-    /// Panics on length mismatch or out-of-range labels.
+    /// Build from parallel actual/predicted label slices. Unpaired trailing
+    /// labels (length mismatch) are ignored; out-of-range labels are counted
+    /// in [`ConfusionMatrix::out_of_range`], not recorded.
     pub fn from_pairs(actual: &[usize], predicted: &[usize], n_classes: usize) -> Self {
-        assert_eq!(actual.len(), predicted.len(), "label slices must align");
         let mut m = Self::new(n_classes);
         for (&a, &p) in actual.iter().zip(predicted) {
             m.record(a, p);
@@ -32,20 +32,43 @@ impl ConfusionMatrix {
         m
     }
 
-    /// Record one observation.
+    /// Record one observation. An out-of-range label is tallied in
+    /// [`ConfusionMatrix::out_of_range`] rather than recorded — metrics are
+    /// computed over in-range observations only.
     pub fn record(&mut self, actual: usize, predicted: usize) {
-        assert!(actual < self.n_classes && predicted < self.n_classes, "label out of range");
+        if actual >= self.n_classes || predicted >= self.n_classes {
+            self.out_of_range += 1;
+            return;
+        }
         self.counts[actual][predicted] += 1;
     }
 
-    /// Merge another matrix into this one (for CV fold accumulation).
+    /// Observations rejected by [`ConfusionMatrix::record`] because a label
+    /// was outside `0..n_classes`.
+    pub fn out_of_range(&self) -> usize {
+        self.out_of_range
+    }
+
+    /// Merge another matrix into this one (for CV fold accumulation). With
+    /// mismatched class counts, the overlapping `min × min` block merges and
+    /// the rest of `other`'s observations count as out-of-range.
     pub fn merge(&mut self, other: &ConfusionMatrix) {
-        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
-        for a in 0..self.n_classes {
-            for p in 0..self.n_classes {
+        let common = self.n_classes.min(other.n_classes);
+        for a in 0..common {
+            for p in 0..common {
                 self.counts[a][p] += other.counts[a][p];
             }
         }
+        if other.n_classes > common {
+            let overlap: usize = other
+                .counts
+                .iter()
+                .take(common)
+                .map(|row| row.iter().take(common).sum::<usize>())
+                .sum();
+            self.out_of_range += other.total() - overlap;
+        }
+        self.out_of_range += other.out_of_range;
     }
 
     /// Number of classes.
@@ -63,9 +86,9 @@ impl ConfusionMatrix {
         self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
     }
 
-    /// Observations with `actual == class`.
+    /// Observations with `actual == class`; 0 for an unknown class.
     pub fn actual_count(&self, class: usize) -> usize {
-        self.counts[class].iter().sum()
+        self.counts.get(class).map_or(0, |row| row.iter().sum())
     }
 
     /// Fraction correct overall; 0 when empty.
@@ -78,8 +101,12 @@ impl ConfusionMatrix {
         correct as f64 / total as f64
     }
 
-    /// Recall for `class`: TP / actual positives; 0 when the class is empty.
+    /// Recall for `class`: TP / actual positives; 0 when the class is empty
+    /// or unknown.
     pub fn recall(&self, class: usize) -> f64 {
+        if class >= self.n_classes {
+            return 0.0;
+        }
         let actual = self.actual_count(class);
         if actual == 0 {
             return 0.0;
@@ -87,8 +114,12 @@ impl ConfusionMatrix {
         self.counts[class][class] as f64 / actual as f64
     }
 
-    /// Precision for `class`: TP / predicted positives; 0 when never predicted.
+    /// Precision for `class`: TP / predicted positives; 0 when never
+    /// predicted or unknown.
     pub fn precision(&self, class: usize) -> f64 {
+        if class >= self.n_classes {
+            return 0.0;
+        }
         let predicted: usize = (0..self.n_classes).map(|a| self.counts[a][class]).sum();
         if predicted == 0 {
             return 0.0;
@@ -202,5 +233,36 @@ mod tests {
         assert_eq!(m.recall(0), 0.0);
         assert_eq!(m.precision(0), 0.0);
         assert_eq!(m.f1(0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_labels_counted_not_fatal() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(5, 0);
+        m.record(0, 9);
+        assert_eq!(m.total(), 1);
+        assert_eq!(m.out_of_range(), 2);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(7), 0.0);
+        assert_eq!(m.precision(7), 0.0);
+    }
+
+    #[test]
+    fn degenerate_class_count_saturates() {
+        let m = ConfusionMatrix::new(0);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn mismatched_merge_keeps_overlap() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(3);
+        b.record(1, 1);
+        b.record(2, 2);
+        a.merge(&b);
+        assert_eq!(a.total(), 2, "overlapping block merged");
+        assert_eq!(a.out_of_range(), 1, "class-2 observation counted, not lost");
     }
 }

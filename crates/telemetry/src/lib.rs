@@ -24,11 +24,13 @@
 
 pub mod flow;
 pub mod http;
+pub mod ingest;
 pub mod overhead;
 pub mod packet;
 pub mod tls;
 
 pub use flow::FlowRecord;
+pub use ingest::{IngestError, IngestStats, Validity};
 pub use http::HttpTransactionRecord;
 pub use overhead::{MemoryFootprint, Stopwatch};
 pub use packet::{Direction, PacketCapture, PacketRecord};

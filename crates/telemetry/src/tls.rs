@@ -6,6 +6,8 @@
 
 use std::sync::Arc;
 
+use crate::ingest::{IngestError, IngestStats, Validity};
+
 /// One TLS transaction as exported by a transparent proxy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TlsTransactionRecord {
@@ -46,12 +48,32 @@ impl TlsTransactionRecord {
         }
         self.down_bytes / self.up_bytes
     }
+
+    /// The record's [`Validity`] flags: every silent fallback this type
+    /// performs (`duration_s` negative clamp, `tdr_kbps`/`d2u_ratio` `0.0`
+    /// sentinels) plus missing-SNI and negative-start conditions, made
+    /// explicit.
+    pub fn validity(&self) -> Validity {
+        Validity {
+            clamped_negative_duration: self.end_s < self.start_s,
+            zero_duration: self.duration_s() == 0.0,
+            no_uplink_bytes: self.up_bytes <= 0.0,
+            missing_sni: self.sni.is_empty(),
+            clamped_negative_start: self.start_s < 0.0,
+        }
+    }
 }
 
 /// The proxy's per-session export: TLS transactions ordered by start time.
+///
+/// `ProxyLog` is the pipeline's typed ingest boundary. Records pass through
+/// [`ProxyLog::try_push`], which accepts, repairs-and-flags, or quarantines
+/// each one (see [`crate::ingest`] for the policy); the log's
+/// [`IngestStats`] always account for every record offered.
 #[derive(Debug, Clone, Default)]
 pub struct ProxyLog {
     transactions: Vec<TlsTransactionRecord>,
+    stats: IngestStats,
 }
 
 impl ProxyLog {
@@ -60,21 +82,64 @@ impl ProxyLog {
         Self::default()
     }
 
-    /// Append a transaction.
+    /// Offer a transaction to the ingest boundary.
     ///
-    /// # Panics
-    /// Panics if times are negative/non-finite or `end < start`.
-    pub fn push(&mut self, rec: TlsTransactionRecord) {
-        assert!(rec.start_s.is_finite() && rec.start_s >= 0.0, "bad transaction start");
-        assert!(rec.end_s.is_finite() && rec.end_s >= rec.start_s, "end before start");
-        assert!(rec.up_bytes >= 0.0 && rec.down_bytes >= 0.0, "negative byte counts");
+    /// Unusable records (non-finite or negative fields) are quarantined and
+    /// counted, returning the typed [`IngestError`]. Recoverable damage is
+    /// repaired in place — a negative `start_s` is shifted to zero
+    /// (preserving duration) — and surfaced in the returned [`Validity`].
+    ///
+    /// # Errors
+    /// Returns the quarantine reason; the record is counted, not stored.
+    pub fn try_push(&mut self, mut rec: TlsTransactionRecord) -> Result<Validity, IngestError> {
+        if let Err(e) = validate(&rec) {
+            self.stats.note_quarantine(&e);
+            return Err(e);
+        }
+        let mut validity = rec.validity();
+        if rec.start_s < 0.0 {
+            // A skewed capture clock put the record before the epoch; shift
+            // it forward, keeping its duration.
+            let shift = -rec.start_s;
+            rec.start_s = 0.0;
+            rec.end_s += shift;
+            validity.clamped_negative_start = true;
+        }
+        self.stats.note_accept(validity);
         self.transactions.push(rec);
+        Ok(validity)
     }
 
-    /// Sort by start time.
+    /// Append a transaction, quarantining silently on unusable input.
+    ///
+    /// Simulation code producing well-formed records can ignore the
+    /// outcome; boundaries facing untrusted input should prefer
+    /// [`ProxyLog::try_push`] and inspect the result.
+    pub fn push(&mut self, rec: TlsTransactionRecord) {
+        let _ = self.try_push(rec);
+    }
+
+    /// Ingest a whole stream with quarantine-and-continue semantics,
+    /// returning the boundary's cumulative stats.
+    pub fn ingest_all<I: IntoIterator<Item = TlsTransactionRecord>>(
+        &mut self,
+        records: I,
+    ) -> &IngestStats {
+        for rec in records {
+            let _ = self.try_push(rec);
+        }
+        &self.stats
+    }
+
+    /// Cumulative accept/repair/quarantine tallies for this boundary.
+    pub fn ingest_stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Sort by start time. Total order: accepted records always have
+    /// finite timestamps.
     pub fn sort_by_start(&mut self) {
-        self.transactions
-            .sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).expect("finite starts"));
+        self.transactions.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
     }
 
     /// All transactions in insertion order.
@@ -104,6 +169,14 @@ impl ProxyLog {
         (up, down)
     }
 
+    /// Validate a record against the quarantine rules without ingesting it.
+    ///
+    /// # Errors
+    /// Returns the [`IngestError`] the record would quarantine with.
+    pub fn validate(rec: &TlsTransactionRecord) -> Result<(), IngestError> {
+        validate(rec)
+    }
+
     /// Distinct SNI hostnames seen, in first-seen order.
     pub fn hosts(&self) -> Vec<Arc<str>> {
         let mut out: Vec<Arc<str>> = Vec::new();
@@ -114,6 +187,28 @@ impl ProxyLog {
         }
         out
     }
+}
+
+/// The quarantine rules: non-finite or negative-byte records are unusable.
+/// Inverted times, negative starts, and missing SNIs are repairable and
+/// handled at accept time instead.
+fn validate(rec: &TlsTransactionRecord) -> Result<(), IngestError> {
+    if !rec.start_s.is_finite() || !rec.end_s.is_finite() {
+        return Err(IngestError::NonFiniteTime { start_s: rec.start_s, end_s: rec.end_s });
+    }
+    if !rec.up_bytes.is_finite() || !rec.down_bytes.is_finite() {
+        return Err(IngestError::NonFiniteBytes {
+            up_bytes: rec.up_bytes,
+            down_bytes: rec.down_bytes,
+        });
+    }
+    if rec.up_bytes < 0.0 || rec.down_bytes < 0.0 {
+        return Err(IngestError::NegativeBytes {
+            up_bytes: rec.up_bytes,
+            down_bytes: rec.down_bytes,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -162,8 +257,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "end before start")]
-    fn inverted_times_rejected() {
-        ProxyLog::new().push(rec(5.0, 4.0, 0.0, 0.0, "x"));
+    fn inverted_times_accepted_with_flag() {
+        let mut log = ProxyLog::new();
+        let v = log.try_push(rec(5.0, 4.0, 0.0, 0.0, "x")).unwrap();
+        assert!(v.clamped_negative_duration);
+        assert!(v.zero_duration, "clamped duration is the 0.0 sentinel");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.ingest_stats().repaired, 1);
+        assert_eq!(log.ingest_stats().inverted_times, 1);
+        assert_eq!(log.transactions()[0].duration_s(), 0.0);
+    }
+
+    #[test]
+    fn negative_start_shifted_preserving_duration() {
+        let mut log = ProxyLog::new();
+        let v = log.try_push(rec(-2.0, 3.0, 10.0, 10.0, "x")).unwrap();
+        assert!(v.clamped_negative_start);
+        let t = &log.transactions()[0];
+        assert_eq!(t.start_s, 0.0);
+        assert_eq!(t.end_s, 5.0);
+    }
+
+    #[test]
+    fn unusable_records_quarantined_with_reason() {
+        let mut log = ProxyLog::new();
+        assert!(matches!(
+            log.try_push(rec(f64::NAN, 1.0, 0.0, 0.0, "x")),
+            Err(IngestError::NonFiniteTime { .. })
+        ));
+        assert!(matches!(
+            log.try_push(rec(0.0, 1.0, f64::INFINITY, 0.0, "x")),
+            Err(IngestError::NonFiniteBytes { .. })
+        ));
+        assert!(matches!(
+            log.try_push(rec(0.0, 1.0, -5.0, 0.0, "x")),
+            Err(IngestError::NegativeBytes { .. })
+        ));
+        assert!(log.is_empty(), "quarantined records are never stored");
+        let s = log.ingest_stats();
+        assert_eq!(s.quarantined, 3);
+        assert_eq!(s.non_finite_time, 1);
+        assert_eq!(s.non_finite_bytes, 1);
+        assert_eq!(s.negative_bytes, 1);
+        assert_eq!(s.offered(), 3);
+    }
+
+    #[test]
+    fn ingest_all_continues_past_quarantines() {
+        let mut log = ProxyLog::new();
+        let stream = vec![
+            rec(0.0, 1.0, 1.0, 1.0, "a"),
+            rec(1.0, 2.0, f64::NAN, 1.0, "b"),
+            rec(2.0, 3.0, 1.0, 1.0, ""),
+        ];
+        let stats = log.ingest_all(stream);
+        assert_eq!(stats.accepted(), 2);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.missing_sni, 1);
+        assert_eq!(log.len(), 2);
     }
 }

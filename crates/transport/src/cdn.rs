@@ -147,11 +147,23 @@ mod tests {
 
     #[test]
     fn media_host_is_mostly_sticky_within_session() {
+        // Stickiness means switch *events* are rare (p = 0.005/request), not
+        // that the first host survives every draw — count transitions so one
+        // unlucky early redirect doesn't fail the test.
         let cdn = CdnModel::new("svc1", 8);
-        let mut s = cdn.start_session(1);
-        let first = s.host_for(HostClass::Media);
-        let same = (0..100).filter(|_| s.host_for(HostClass::Media) == first).count();
-        assert!(same >= 80, "sticky within a session, got {same}/100");
+        let mut switches = 0;
+        for seed in 0..10u64 {
+            let mut s = cdn.start_session(seed);
+            let mut prev = s.host_for(HostClass::Media);
+            for _ in 0..100 {
+                let h = s.host_for(HostClass::Media);
+                if h != prev {
+                    switches += 1;
+                }
+                prev = h;
+            }
+        }
+        assert!(switches <= 20, "sticky within sessions, got {switches} switches/1000");
     }
 
     #[test]

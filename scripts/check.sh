@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Offline CI gate: release build, full test suite, lint-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! sibling `serde` shim's [`Value`] data model, using only the built-in
+//! `proc_macro` API (no `syn`/`quote`, which are unavailable offline). The
+//! supported item shapes are exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * enums mixing unit variants, one-field tuple variants, and struct
+//!   variants (encoded externally tagged, like serde's default).
+//!
+//! Anything else (generics, tuple structs, multi-field tuple variants)
+//! produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a parsed item turned out to be.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    /// One-field tuple variant, e.g. `Count(usize)`.
+    Newtype(String),
+    Struct { name: String, fields: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: TokenStream) -> Self {
+        Self { tokens: input.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (doc comments included).
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.pos += 1; // [...]
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Parse named fields inside a brace group: returns field names in order.
+    fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+        let mut p = Parser::new(group);
+        let mut fields = Vec::new();
+        loop {
+            p.skip_attributes();
+            if p.peek().is_none() {
+                return Ok(fields);
+            }
+            p.skip_visibility();
+            fields.push(p.expect_ident()?);
+            match p.next() {
+                Some(TokenTree::Punct(c)) if c.as_char() == ':' => {}
+                other => return Err(format!("expected `:` after field name, found {other:?}")),
+            }
+            // Skip the type: consume until a comma outside angle brackets.
+            let mut angle_depth = 0i32;
+            loop {
+                match p.peek() {
+                    None => return Ok(fields),
+                    Some(TokenTree::Punct(c)) if c.as_char() == '<' => {
+                        angle_depth += 1;
+                        p.pos += 1;
+                    }
+                    Some(TokenTree::Punct(c)) if c.as_char() == '>' => {
+                        angle_depth -= 1;
+                        p.pos += 1;
+                    }
+                    Some(TokenTree::Punct(c)) if c.as_char() == ',' && angle_depth == 0 => {
+                        p.pos += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        p.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count the top-level comma-separated slots of a tuple-variant group.
+    fn tuple_arity(group: TokenStream) -> usize {
+        let tokens: Vec<TokenTree> = group.into_iter().collect();
+        if tokens.is_empty() {
+            return 0;
+        }
+        let mut arity = 1;
+        let mut angle_depth = 0i32;
+        for t in &tokens {
+            match t {
+                TokenTree::Punct(c) if c.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(c) if c.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(c) if c.as_char() == ',' && angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+        // A trailing comma does not add a slot.
+        if matches!(tokens.last(), Some(TokenTree::Punct(c)) if c.as_char() == ',') {
+            arity -= 1;
+        }
+        arity
+    }
+
+    fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+        let mut p = Parser::new(group);
+        let mut variants = Vec::new();
+        loop {
+            p.skip_attributes();
+            if p.peek().is_none() {
+                return Ok(variants);
+            }
+            let name = p.expect_ident()?;
+            match p.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = Self::tuple_arity(g.stream());
+                    if arity != 1 {
+                        return Err(format!(
+                            "variant `{name}`: only one-field tuple variants are supported"
+                        ));
+                    }
+                    p.pos += 1;
+                    variants.push(Variant::Newtype(name));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = Self::parse_named_fields(g.stream())?;
+                    p.pos += 1;
+                    variants.push(Variant::Struct { name, fields });
+                }
+                _ => variants.push(Variant::Unit(name)),
+            }
+            if let Some(TokenTree::Punct(c)) = p.peek() {
+                if c.as_char() == ',' {
+                    p.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_item(mut self) -> Result<Item, String> {
+        self.skip_attributes();
+        self.skip_visibility();
+        let keyword = self.expect_ident()?;
+        let name = self.expect_ident()?;
+        if let Some(TokenTree::Punct(c)) = self.peek() {
+            if c.as_char() == '<' {
+                return Err(format!("`{name}`: generic items are not supported"));
+            }
+        }
+        let body = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => {
+                return Err(format!(
+                    "`{name}`: expected a brace-delimited body (tuple/unit items unsupported), \
+                     found {other:?}"
+                ))
+            }
+        };
+        match keyword.as_str() {
+            "struct" => Ok(Item::Struct { name, fields: Self::parse_named_fields(body)? }),
+            "enum" => Ok(Item::Enum { name, variants: Self::parse_variants(body)? }),
+            other => Err(format!("cannot derive for `{other}` items")),
+        }
+    }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    ),
+                    Variant::Newtype(vn) => format!(
+                        "{name}::{vn}(inner) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert({vn:?}.to_string(), ::serde::Serialize::to_value(inner));\n\
+                             ::serde::Value::Object(m)\n\
+                         }}\n"
+                    ),
+                    Variant::Struct { name: vn, fields } => {
+                        let binds = fields.join(", ");
+                        let inserts: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.insert({f:?}.to_string(), \
+                                     ::serde::Serialize::to_value({f}));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut inner = ::serde::Map::new();\n\
+                                 {inserts}\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert({vn:?}.to_string(), ::serde::Value::Object(inner));\n\
+                                 ::serde::Value::Object(m)\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn struct_body_decoder(name: &str, fields: &[String], map_expr: &str) -> String {
+    let field_inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({map_expr}.get({f:?})\
+                 .ok_or_else(|| ::serde::DeError::missing_field({f:?}))?)?,\n"
+            )
+        })
+        .collect();
+    format!("{name} {{\n{field_inits}}}")
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = struct_body_decoder(name, fields, "m");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let m = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", {name:?}, v))?;\n\
+                         ::std::result::Result::Ok({body})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(vn) => Some(format!(
+                        "if let ::std::option::Option::Some(inner) = m.get({vn:?}) {{\n\
+                             return ::std::result::Result::Ok(\
+                                 {name}::{vn}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}\n"
+                    )),
+                    Variant::Struct { name: vn, fields } => {
+                        let body =
+                            struct_body_decoder(&format!("{name}::{vn}"), fields, "inner_map");
+                        Some(format!(
+                            "if let ::std::option::Option::Some(inner) = m.get({vn:?}) {{\n\
+                                 let inner_map = inner.as_object().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"object\", {vn:?}, inner))?;\n\
+                                 return ::std::result::Result::Ok({body});\n\
+                             }}\n"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(m) => {{\n\
+                                 {tagged_arms}\
+                                 ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant object for {name}\")))\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"string or object\", {name:?}, other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derive the shim's `serde::Serialize` for a named-field struct or an enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Parser::new(input).parse_item() {
+        Ok(item) => serialize_impl(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen failed: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the shim's `serde::Deserialize` for a named-field struct or an enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Parser::new(input).parse_item() {
+        Ok(item) => deserialize_impl(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen failed: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
