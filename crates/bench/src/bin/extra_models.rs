@@ -31,10 +31,7 @@ fn main() {
             if s.accuracy > best.1 {
                 best = (name, s.accuracy);
             }
-            json.insert(
-                format!("{}/{}", svc.name(), name),
-                serde_json::json!({"accuracy": s.accuracy, "recall": s.recall_low}),
-            );
+            json.insert(format!("{}/{}", svc.name(), name), dtp_bench::scores_json(s));
         }
         table.print();
         println!("  best: {} ({})", best.0, pct(best.1));

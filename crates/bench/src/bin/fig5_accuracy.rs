@@ -6,7 +6,7 @@
 //! reversed (71% vs 40%); Svc3 in between (63% / 58%). Combined QoE recall
 //! 73–85% across all services.
 
-use dtp_bench::{arp, heading, RunConfig, TextTable};
+use dtp_bench::{arp, heading, scores_json, RunConfig, TextTable};
 use dtp_core::experiments::fig5_accuracy;
 use dtp_core::ServiceId;
 
@@ -19,23 +19,22 @@ fn main() {
         let corpus = cfg.corpus(svc, false);
         let rows = fig5_accuracy(&corpus, cfg.seed);
         println!("\n{} ({} sessions)", svc.name(), corpus.len());
-        let mut table =
-            TextTable::new(&["QoE metric", "Accuracy", "Recall(bad)", "Precision(bad)"]);
+        let mut table = TextTable::new(&[
+            "QoE metric",
+            "Accuracy",
+            "Recall(bad)",
+            "Precision(bad)",
+            "Support(bad)",
+        ]);
         for (metric, s) in &rows {
             table.row(&[
                 metric.name().to_string(),
                 dtp_bench::pct(s.accuracy),
                 dtp_bench::pct(s.recall_low),
                 dtp_bench::pct(s.precision_low),
+                s.support_low.to_string(),
             ]);
-            json.insert(
-                format!("{}/{}", svc.name(), metric.name()),
-                serde_json::json!({
-                    "accuracy": s.accuracy,
-                    "recall_low": s.recall_low,
-                    "precision_low": s.precision_low,
-                }),
-            );
+            json.insert(format!("{}/{}", svc.name(), metric.name()), scores_json(s));
         }
         table.print();
         for (metric, s) in &rows {

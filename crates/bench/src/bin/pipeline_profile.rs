@@ -1,0 +1,375 @@
+//! Pipeline cost profile: the paper's Table 4 overhead comparison, measured
+//! end-to-end with per-stage attribution.
+//!
+//! Runs the whole pipeline — generate → simulate → ingest → split →
+//! extract → train → predict — with every stage under a named
+//! `dtp-obs` span, then emits:
+//!
+//! * a human-readable span tree (wall time per stage),
+//! * a JSON artifact (`DTP_PROFILE_OUT`, default
+//!   `target/pipeline_profile.json`) with per-stage wall time plus the
+//!   record/byte/compute costs of the TLS-transaction view vs the
+//!   packet-capture view.
+//!
+//! Paper shape (§4.2, Table 4): Svc1 averaged 27,689 packets vs 19.5 TLS
+//! transactions per session (~1400× the records) and packet feature
+//! extraction took 503 s vs 8.3 s (~60× the compute). The binary asserts the
+//! directional claims (TLS retains fewer records and extracts faster) and
+//! exits nonzero if the reproduction disagrees.
+//!
+//! `--smoke` runs a small Svc1-only corpus — fast enough for CI, same code
+//! path and same JSON schema.
+
+use dtp_bench::{heading, pct, Reporter, RunConfig};
+use dtp_core::label::{combined_label, quality_category, rebuffering_label};
+use dtp_core::sim::{simulate_session, SessionConfig};
+use dtp_core::{QoeEstimator, ServiceId, SessionSplitter};
+use dtp_features::{extract_packet_features, extract_tls_features_checked};
+use dtp_ml::{Classifier, ConfusionMatrix, RandomForest};
+use dtp_obs::{global, render_tree};
+use dtp_simnet::TraceCorpus;
+use dtp_telemetry::{MemoryFootprint, PacketRecord, Stopwatch, TlsTransactionRecord};
+
+/// Wall-clock seconds attributed to each pipeline stage.
+#[derive(Debug, Default, Clone, Copy)]
+struct StageSeconds {
+    generate: f64,
+    simulate: f64,
+    ingest: f64,
+    split: f64,
+    extract: f64,
+    train: f64,
+    predict: f64,
+}
+
+impl StageSeconds {
+    fn add(&mut self, other: &StageSeconds) {
+        self.generate += other.generate;
+        self.simulate += other.simulate;
+        self.ingest += other.ingest;
+        self.split += other.split;
+        self.extract += other.extract;
+        self.train += other.train;
+        self.predict += other.predict;
+    }
+
+    fn as_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "generate_s": self.generate,
+            "simulate_s": self.simulate,
+            "ingest_s": self.ingest,
+            "split_s": self.split,
+            "extract_s": self.extract,
+            "train_s": self.train,
+            "predict_s": self.predict,
+        })
+    }
+}
+
+/// Costs of one telemetry view (TLS transactions or packet captures).
+#[derive(Debug, Default, Clone, Copy)]
+struct ViewCost {
+    records: usize,
+    bytes: usize,
+    extract_s: f64,
+}
+
+impl ViewCost {
+    fn as_json(&self, sessions: usize) -> serde_json::Value {
+        let mean = if sessions == 0 { 0.0 } else { self.records as f64 / sessions as f64 };
+        serde_json::json!({
+            "records": self.records as f64,
+            "bytes": self.bytes as f64,
+            "mean_records_per_session": mean,
+            "extract_s": self.extract_s,
+        })
+    }
+}
+
+/// Everything measured while profiling one service.
+struct ServiceProfile {
+    service: ServiceId,
+    sessions: usize,
+    stages: StageSeconds,
+    tls: ViewCost,
+    packet: ViewCost,
+    tls_accuracy: f64,
+    packet_accuracy: f64,
+    support_low: usize,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = RunConfig::from_env();
+    let reporter = Reporter::from_env();
+    heading(if smoke {
+        "Pipeline cost profile (smoke: Svc1, reduced corpus)"
+    } else {
+        "Pipeline cost profile: per-stage wall time, TLS vs packet view (Table 4)"
+    });
+
+    let services: &[ServiceId] = if smoke { &[ServiceId::Svc1] } else { &ServiceId::ALL };
+    let mut profiles = Vec::new();
+    for &svc in services {
+        let sessions = if smoke { cfg.sessions.unwrap_or(600).min(40) } else { cfg.session_count(svc) };
+        reporter.info(&format!("profiling {} ({sessions} sessions)...", svc.name()));
+        profiles.push(profile_service(svc, sessions, cfg.seed, &reporter));
+    }
+
+    // Aggregate across services for the headline comparison.
+    let mut stages = StageSeconds::default();
+    let mut tls = ViewCost::default();
+    let mut packet = ViewCost::default();
+    let mut sessions = 0usize;
+    for p in &profiles {
+        stages.add(&p.stages);
+        tls.records += p.tls.records;
+        tls.bytes += p.tls.bytes;
+        tls.extract_s += p.tls.extract_s;
+        packet.records += p.packet.records;
+        packet.bytes += p.packet.bytes;
+        packet.extract_s += p.packet.extract_s;
+        sessions += p.sessions;
+    }
+    let memory_ratio = packet.records as f64 / tls.records.max(1) as f64;
+    let compute_ratio = if tls.extract_s > 0.0 { packet.extract_s / tls.extract_s } else { 0.0 };
+
+    println!("\nPer-stage wall time (aggregated spans):");
+    let spans = global().finished_spans();
+    print!("{}", render_tree(&spans));
+
+    println!("\nCost comparison (paper Table 4 / §4.2):");
+    println!(
+        "  records held : {} packet vs {} TLS  ({memory_ratio:.0}x)",
+        packet.records, tls.records
+    );
+    println!("  bytes retained: {} packet vs {} TLS", packet.bytes, tls.bytes);
+    println!(
+        "  extraction    : {:.3} s packet vs {:.3} s TLS  ({compute_ratio:.0}x)",
+        packet.extract_s, tls.extract_s
+    );
+    for p in &profiles {
+        println!(
+            "  {}: accuracy packet {} vs TLS {} (n_low={})",
+            p.service.name(),
+            pct(p.packet_accuracy),
+            pct(p.tls_accuracy),
+            p.support_low
+        );
+    }
+    println!("  paper (Svc1): 27,689 packets vs 19.5 TLS txns (~1400x); 503 s vs 8.3 s (~60x)");
+
+    let mut services_json = serde_json::Map::new();
+    for p in &profiles {
+        services_json.insert(
+            p.service.name().to_string(),
+            serde_json::json!({
+                "sessions": p.sessions as f64,
+                "stages": p.stages.as_json(),
+                "tls": p.tls.as_json(p.sessions),
+                "packet": p.packet.as_json(p.sessions),
+                "tls_accuracy": p.tls_accuracy,
+                "packet_accuracy": p.packet_accuracy,
+                "support_low": p.support_low as f64,
+            }),
+        );
+    }
+    let snap = global().snapshot();
+    let artifact = serde_json::json!({
+        "schema": "dtp.pipeline_profile.v1",
+        "smoke": smoke,
+        "sessions": sessions as f64,
+        "stages": stages.as_json(),
+        "tls": tls.as_json(sessions),
+        "packet": packet.as_json(sessions),
+        "memory_ratio": memory_ratio,
+        "compute_ratio": compute_ratio,
+        "services": serde_json::Value::Object(services_json),
+        "spans": dtp_obs::span_tree_json(&spans),
+        "metrics": dtp_obs::export::snapshot_json(&snap),
+    });
+
+    let out_path = std::env::var("DTP_PROFILE_OUT")
+        .unwrap_or_else(|_| "target/pipeline_profile.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&out_path, artifact.to_string()) {
+        Ok(()) => println!("\nprofile written to {out_path}"),
+        Err(e) => {
+            reporter.warn(&format!("failed to write {out_path}: {e}"));
+            std::process::exit(1);
+        }
+    }
+    if cfg.json {
+        println!("{artifact}");
+    }
+
+    // Acceptance gates: every stage ran, and the paper's directional claims
+    // hold (the TLS view is the cheap one).
+    let mut failed = false;
+    for (name, secs) in [
+        ("generate", stages.generate),
+        ("simulate", stages.simulate),
+        ("ingest", stages.ingest),
+        ("split", stages.split),
+        ("extract", stages.extract),
+        ("train", stages.train),
+        ("predict", stages.predict),
+    ] {
+        if secs <= 0.0 {
+            reporter.warn(&format!("stage `{name}` recorded no wall time ({secs} s)"));
+            failed = true;
+        }
+    }
+    if tls.records >= packet.records {
+        reporter.warn(&format!(
+            "directional check failed: TLS retained {} records, packets {}",
+            tls.records, packet.records
+        ));
+        failed = true;
+    }
+    if tls.extract_s >= packet.extract_s {
+        reporter.warn(&format!(
+            "directional check failed: TLS extraction {:.4} s >= packet {:.4} s",
+            tls.extract_s, packet.extract_s
+        ));
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    reporter.info("\ndirectional checks passed: TLS view is cheaper on records and compute");
+}
+
+/// Run the full pipeline for one service with per-stage spans and timers.
+///
+/// Sessions stream through simulate → ingest → split → extract one at a
+/// time (packet captures are too large to hold for a whole corpus — that is
+/// the point of the paper), so each stage span re-enters per session and the
+/// exported tree aggregates them by path.
+fn profile_service(
+    service: ServiceId,
+    sessions: usize,
+    seed: u64,
+    reporter: &Reporter,
+) -> ServiceProfile {
+    let _root = dtp_obs::span!("pipeline");
+    let mut stages = StageSeconds::default();
+    let mut tls = ViewCost::default();
+    let mut packet = ViewCost::default();
+
+    let sw = Stopwatch::start();
+    let traces = {
+        let _g = dtp_obs::span!("generate");
+        TraceCorpus::paper_mix(sessions, seed ^ 0x9a0f_11e5)
+    };
+    stages.generate = sw.elapsed_s();
+
+    let splitter = SessionSplitter::default();
+    let mut tls_rows = Vec::with_capacity(sessions);
+    let mut pkt_rows = Vec::with_capacity(sessions);
+    let mut labels = Vec::with_capacity(sessions);
+    for (i, e) in traces.entries().iter().enumerate() {
+        let sw = Stopwatch::start();
+        let s = {
+            let _g = dtp_obs::span!("simulate");
+            simulate_session(&SessionConfig {
+                service,
+                trace: e.trace.clone(),
+                kind: e.kind,
+                watch_duration_s: e.watch_duration_s,
+                seed: seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64),
+                capture_packets: true,
+            })
+        };
+        stages.simulate += sw.elapsed_s();
+
+        let q = quality_category(&s.ground_truth, &s.profile);
+        let r = rebuffering_label(&s.ground_truth);
+        labels.push(combined_label(q, r).index());
+
+        // Re-ingest the exported transactions through the typed boundary,
+        // exactly as an ISP-side collector would.
+        let sw = Stopwatch::start();
+        let mut log = dtp_telemetry::ProxyLog::new();
+        {
+            let _g = dtp_obs::span!("ingest");
+            log.ingest_all(s.telemetry.tls.into_transactions());
+            log.sort_by_start();
+        }
+        stages.ingest += sw.elapsed_s();
+
+        let sw = Stopwatch::start();
+        {
+            let _g = dtp_obs::span!("split");
+            let flags = splitter.detect(log.transactions());
+            assert_eq!(flags.len(), log.len(), "one boundary flag per transaction");
+        }
+        stages.split += sw.elapsed_s();
+
+        tls.records += log.len();
+        tls.bytes += MemoryFootprint::of_records::<TlsTransactionRecord>(log.len()).bytes;
+        packet.records += s.telemetry.packets.len();
+        packet.bytes +=
+            MemoryFootprint::of_records::<PacketRecord>(s.telemetry.packets.len()).bytes;
+
+        let sw = Stopwatch::start();
+        {
+            let _g = dtp_obs::span!("extract");
+            let t = Stopwatch::start();
+            tls_rows.push(extract_tls_features_checked(log.transactions()).0);
+            tls.extract_s += t.elapsed_s();
+            let t = Stopwatch::start();
+            pkt_rows.push(extract_packet_features(&s.telemetry.packets));
+            packet.extract_s += t.elapsed_s();
+        }
+        stages.extract += sw.elapsed_s();
+    }
+    reporter.verbose(&format!(
+        "  {}: {} TLS records, {} packets across {sessions} sessions",
+        service.name(),
+        tls.records,
+        packet.records
+    ));
+
+    // Train one forest per view on the first half, score on the second —
+    // a plain split keeps the profile about cost, not CV protocol.
+    let half = tls_rows.len() / 2;
+    let sw = Stopwatch::start();
+    let (tls_forest, pkt_forest) = {
+        let _g = dtp_obs::span!("train");
+        let mut a = RandomForest::new(QoeEstimator::forest_config(seed));
+        a.fit(&tls_rows[..half], &labels[..half], 3);
+        let mut b = RandomForest::new(QoeEstimator::forest_config(seed));
+        b.fit(&pkt_rows[..half], &labels[..half], 3);
+        (a, b)
+    };
+    stages.train = sw.elapsed_s();
+
+    let sw = Stopwatch::start();
+    let (tls_cm, pkt_cm) = {
+        let _g = dtp_obs::span!("predict");
+        let mut tls_cm = ConfusionMatrix::new(3);
+        let mut pkt_cm = ConfusionMatrix::new(3);
+        for i in half..tls_rows.len() {
+            tls_cm.record(labels[i], tls_forest.predict(&tls_rows[i]));
+            pkt_cm.record(labels[i], pkt_forest.predict(&pkt_rows[i]));
+        }
+        (tls_cm, pkt_cm)
+    };
+    stages.predict = sw.elapsed_s();
+
+    ServiceProfile {
+        service,
+        sessions,
+        stages,
+        tls,
+        packet,
+        tls_accuracy: tls_cm.accuracy(),
+        packet_accuracy: pkt_cm.accuracy(),
+        support_low: tls_cm.support(0),
+    }
+}

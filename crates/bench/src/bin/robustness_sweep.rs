@@ -13,7 +13,7 @@
 //! clean baseline bit-for-bit (the injector is the identity there); the
 //! binary verifies this and fails loudly if it does not.
 
-use dtp_bench::{heading, pct, RunConfig, TextTable};
+use dtp_bench::{heading, pct, Reporter, RunConfig, TextTable};
 use dtp_core::label::{combined_label, quality_category, rebuffering_label};
 use dtp_core::sim::{simulate_session, SessionConfig};
 use dtp_core::{QoeEstimator, ServiceId};
@@ -33,6 +33,7 @@ struct SweepPoint {
 struct SweepResult {
     accuracy: f64,
     recall_low: f64,
+    support_low: usize,
     faults: FaultReport,
     ingest: IngestStats,
     imputed: usize,
@@ -40,16 +41,18 @@ struct SweepResult {
 
 fn main() {
     let cfg = RunConfig::from_env();
+    let reporter = Reporter::from_env();
     heading("Robustness: combined-QoE accuracy under injected telemetry faults (Svc1)");
 
     let sessions = cfg.sessions.unwrap_or(600).min(900);
+    reporter.verbose(&format!("simulating {sessions} sessions (seed {})", cfg.seed));
     let (train, test) = build_split(ServiceId::Svc1, sessions, cfg.seed);
-    println!(
+    reporter.info(&format!(
         "{} sessions simulated ({} train / {} test), model: Random Forest on 38 TLS features",
         train.len() + test.len(),
         train.len(),
         test.len()
-    );
+    ));
 
     // Train once, on clean data only — degradation below is purely a
     // test-time data-quality effect, as in deployment.
@@ -73,6 +76,7 @@ fn main() {
     ]);
     let mut json = serde_json::Map::new();
     for p in &points {
+        reporter.verbose(&format!("evaluating: {}", p.label));
         let r = evaluate(&forest, &test, &p.plan, cfg.seed);
         if p.plan.is_identity() {
             // Acceptance gate: the identity plan must not move the metric.
@@ -98,6 +102,7 @@ fn main() {
             serde_json::json!({
                 "accuracy": r.accuracy,
                 "recall_low": r.recall_low,
+                "support_low": r.support_low as f64,
                 "faults": r.faults.total_faults() as f64,
                 "dropped": r.faults.dropped as f64,
                 "duplicated": r.faults.duplicated as f64,
@@ -111,10 +116,10 @@ fn main() {
     }
     table.print();
 
-    println!(
+    reporter.info(
         "\nReading: the pipeline degrades, it does not fall over — every record is\n\
          accepted, repaired, or quarantined with a counted reason; features stay\n\
-         finite; the model keeps emitting verdicts at every fault rate swept."
+         finite; the model keeps emitting verdicts at every fault rate swept.",
     );
     if cfg.json {
         println!("{}", serde_json::Value::Object(json));
@@ -197,6 +202,7 @@ fn evaluate(
     SweepResult {
         accuracy: cm.accuracy(),
         recall_low: cm.recall(0),
+        support_low: cm.support(0),
         faults,
         ingest,
         imputed,

@@ -1,9 +1,13 @@
 //! Run every experiment binary in sequence (the full paper reproduction).
 //!
 //! Equivalent to invoking each `fig*`/`table*`/`extra*` binary; honours the
-//! same `DTP_SESSIONS` / `DTP_SEED` / `DTP_JSON` environment knobs.
+//! same `DTP_SESSIONS` / `DTP_SEED` / `DTP_JSON` environment knobs, plus
+//! `DTP_LOG` for progress verbosity (the children's own output is passed
+//! through untouched — it is the deliverable).
 
 use std::process::Command;
+
+use dtp_bench::Reporter;
 
 const BINARIES: [&str; 17] = [
     "fig2_transactions",
@@ -26,29 +30,35 @@ const BINARIES: [&str; 17] = [
 ];
 
 fn main() {
+    let reporter = Reporter::from_env();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin directory");
     let mut failures = Vec::new();
-    for bin in BINARIES {
+    for (i, bin) in BINARIES.iter().enumerate() {
+        reporter.verbose(&format!("[{}/{}] {bin}", i + 1, BINARIES.len()));
         let path = dir.join(bin);
         let status = Command::new(&path).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                failures.push(bin);
+                reporter.warn(&format!("{bin} exited with {s}"));
+                failures.push(*bin);
             }
             Err(e) => {
-                eprintln!("failed to launch {bin}: {e} (build with `cargo build --release -p dtp-bench` first)");
-                failures.push(bin);
+                reporter.warn(&format!(
+                    "failed to launch {bin}: {e} (build with `cargo build --release -p dtp-bench` first)"
+                ));
+                failures.push(*bin);
             }
         }
     }
     // extra_intervals is cheap; run it last so a partial run still covers
     // every paper artifact above.
+    reporter.verbose("[extra] extra_intervals");
     let _ = Command::new(dir.join("extra_intervals")).status();
     if !failures.is_empty() {
-        eprintln!("\nfailed: {failures:?}");
+        reporter.warn(&format!("\nfailed: {failures:?}"));
         std::process::exit(1);
     }
+    reporter.info("\nrun_all: every experiment binary completed");
 }

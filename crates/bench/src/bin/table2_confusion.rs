@@ -39,12 +39,25 @@ fn main() {
     println!("paper: low 72/21/8, med 25/43/32, high 5/12/84 — medium hardest");
 
     if cfg.json {
+        let mut per_class = serde_json::Map::new();
+        for r in cm.class_reports() {
+            per_class.insert(
+                classes[r.class].to_string(),
+                serde_json::json!({
+                    "support": r.support as f64,
+                    "recall": r.recall,
+                    "precision": r.precision,
+                    "f1": r.f1,
+                }),
+            );
+        }
         println!(
             "{}",
             serde_json::json!({
                 "counts": cm.counts(),
                 "row_normalized": rows,
                 "accuracy": cm.accuracy(),
+                "per_class": serde_json::Value::Object(per_class),
             })
         );
     }

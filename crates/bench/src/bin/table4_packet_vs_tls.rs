@@ -38,8 +38,8 @@ fn main() {
         json.insert(
             svc.name().to_string(),
             serde_json::json!({
-                "tls": {"accuracy": tls.accuracy, "recall": tls.recall_low, "precision": tls.precision_low},
-                "packet": {"accuracy": pkt.accuracy, "recall": pkt.recall_low, "precision": pkt.precision_low},
+                "tls": dtp_bench::scores_json(&tls),
+                "packet": dtp_bench::scores_json(&pkt),
             }),
         );
         overheads.push((svc, table4_overhead(&corpus)));

@@ -16,6 +16,8 @@ use dtp_core::dataset::{Corpus, DatasetBuilder};
 use dtp_core::experiments::MetricScores;
 use dtp_core::ServiceId;
 
+pub use dtp_obs::{Reporter, Verbosity};
+
 /// Scale knobs shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
@@ -72,9 +74,27 @@ pub fn pct1(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
-/// Render a `MetricScores` triple as `A / R / P` percentages.
+/// Render a `MetricScores` triple as `A / R / P` percentages plus the
+/// low-class support backing the recall number.
 pub fn arp(s: &MetricScores) -> String {
-    format!("A={} R={} P={}", pct(s.accuracy), pct(s.recall_low), pct(s.precision_low))
+    format!(
+        "A={} R={} P={} (n_low={})",
+        pct(s.accuracy),
+        pct(s.recall_low),
+        pct(s.precision_low),
+        s.support_low
+    )
+}
+
+/// JSON object for a `MetricScores` cell, shared by every bench binary's
+/// `DTP_JSON` output so the schema stays uniform.
+pub fn scores_json(s: &MetricScores) -> serde_json::Value {
+    serde_json::json!({
+        "accuracy": s.accuracy,
+        "recall_low": s.recall_low,
+        "precision_low": s.precision_low,
+        "support_low": s.support_low as f64,
+    })
 }
 
 /// Print a horizontal rule + title.

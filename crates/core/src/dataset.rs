@@ -185,7 +185,11 @@ impl DatasetBuilder {
 
     /// Simulate, extract, and label the corpus.
     pub fn build(&self) -> Corpus {
-        let traces = TraceCorpus::paper_mix(self.sessions, self.seed ^ service_salt(self.service));
+        let _span = dtp_obs::span!("dataset.build");
+        let traces = {
+            let _g = dtp_obs::span!("generate");
+            TraceCorpus::paper_mix(self.sessions, self.seed ^ service_salt(self.service))
+        };
         let entries = traces.entries();
 
         let chunk = entries.len().div_ceil(self.threads);

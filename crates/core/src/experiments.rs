@@ -24,6 +24,9 @@ pub struct MetricScores {
     pub recall_low: f64,
     /// Precision of class 0.
     pub precision_low: f64,
+    /// Support of class 0: sessions whose actual label was low QoE. Reported
+    /// next to recall so readers can judge how much evidence backs it.
+    pub support_low: usize,
 }
 
 impl MetricScores {
@@ -33,6 +36,7 @@ impl MetricScores {
             accuracy: cv.confusion.accuracy(),
             recall_low: cv.confusion.recall(0),
             precision_low: cv.confusion.precision(0),
+            support_low: cv.confusion.support(0),
         }
     }
 }
@@ -355,6 +359,7 @@ pub fn estimation_strategy_comparison(
                 accuracy: emimic_cm.accuracy(),
                 recall_low: emimic_cm.recall(0),
                 precision_low: emimic_cm.precision(0),
+                support_low: emimic_cm.support(0),
             },
         ),
     ]

@@ -110,6 +110,8 @@ impl SessionSplitter {
     /// clock jitter upstream) are tolerated by detecting over a sorted view
     /// and mapping the verdicts back to the caller's positions.
     pub fn detect(&self, transactions: &[TlsTransactionRecord]) -> Vec<bool> {
+        let _span = dtp_obs::span!("split.detect");
+        dtp_obs::global().counter("split.transactions").add(transactions.len() as u64);
         let sorted = transactions
             .windows(2)
             .all(|w| w[0].start_s <= w[1].start_s + 1e-9);

@@ -139,6 +139,7 @@ pub fn simulate_session_with_profile(
     cfg: &SessionConfig,
     profile: ServiceProfile,
 ) -> SimulatedSession {
+    let _span = dtp_obs::span!("simulate.session");
     let catalog = catalog_for(&profile);
     let mut asset = catalog.pick(cfg.seed).clone();
     // Per-session codec assignment rescales every rung's bitrate while the

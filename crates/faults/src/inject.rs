@@ -36,6 +36,30 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
+    /// Publish these tallies to the process-wide `faults.*` counters in the
+    /// [`dtp_obs::global`] registry. Called once per perturbation, so the
+    /// registry accumulates across sessions while each report stays a
+    /// per-stream view.
+    fn publish(&self) {
+        let reg = dtp_obs::global();
+        for (name, value) in [
+            ("faults.input_records", self.input_records),
+            ("faults.output_records", self.output_records),
+            ("faults.dropped", self.dropped),
+            ("faults.duplicated", self.duplicated),
+            ("faults.merged", self.merged),
+            ("faults.sni_removed", self.sni_removed),
+            ("faults.durations_corrupted", self.durations_corrupted),
+            ("faults.time_perturbed", self.time_perturbed),
+            ("faults.truncated", self.truncated),
+            ("faults.collapsed_links", self.collapsed_links),
+        ] {
+            if value > 0 {
+                reg.counter(name).add(value as u64);
+            }
+        }
+    }
+
     /// Total count of individual fault events.
     pub fn total_faults(&self) -> usize {
         self.dropped
@@ -117,6 +141,7 @@ impl FaultInjector {
         self.truncate_pass(&mut out, &mut rng, &mut report);
 
         report.output_records = out.len();
+        report.publish();
         (out, report)
     }
 
@@ -244,6 +269,7 @@ impl FaultInjector {
             .enumerate()
             .map(|(i, &s)| if i >= pivot { s * self.plan.collapse_factor } else { s })
             .collect();
+        dtp_obs::global().counter("faults.collapsed_links").inc();
         (BandwidthTrace::new(collapsed, trace.interval_s()), true)
     }
 }

@@ -146,6 +146,8 @@ pub fn extract_tls_features_checked_with_intervals(
     transactions: &[TlsTransactionRecord],
     intervals_s: &[f64],
 ) -> (Vec<f64>, FeatureQuality) {
+    let _span = dtp_obs::span!("extract.tls");
+    dtp_obs::global().counter("extract.tls_records").add(transactions.len() as u64);
     let mut out = raw_features(transactions, intervals_s);
     let mut quality = FeatureQuality {
         empty_input: transactions.is_empty(),

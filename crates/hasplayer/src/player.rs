@@ -84,6 +84,8 @@ impl Player {
 
     /// Stream `asset` through `fetcher`, returning the full session trace.
     pub fn play(&self, asset: &VideoAsset, fetcher: &mut dyn SegmentFetcher) -> SessionTrace {
+        let _span = dtp_obs::span!("simulate.play");
+        dtp_obs::global().counter("simulate.sessions").inc();
         Engine::new(&self.config, asset).run(fetcher)
     }
 }

@@ -77,6 +77,7 @@ pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, factory: F) -> 
 where
     F: Fn() -> Box<dyn Classifier>,
 {
+    let _span = dtp_obs::span!("train.cross_validate");
     let folds = stratified_kfold(&dataset.labels, k, seed);
     let mut confusion = ConfusionMatrix::new(dataset.n_classes);
     let mut fold_accuracies = Vec::with_capacity(k);

@@ -75,6 +75,7 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let _span = dtp_obs::span!("train.forest_fit");
         assert!(!x.is_empty(), "cannot fit on no samples");
         assert_eq!(x.len(), y.len(), "features and labels must align");
         self.n_classes = n_classes;
@@ -95,6 +96,7 @@ impl Classifier for RandomForest {
     }
 
     fn predict(&self, x: &[f64]) -> usize {
+        dtp_obs::global().counter("predict.calls").inc();
         argmax(&self.predict_proba(x))
     }
 

@@ -36,7 +36,7 @@ pub use dataset::Dataset;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use knn::KnnClassifier;
-pub use metrics::ConfusionMatrix;
+pub use metrics::{ClassReport, ConfusionMatrix};
 pub use mlp::{Mlp, MlpConfig};
 pub use scale::StandardScaler;
 pub use svm::{LinearSvm, LinearSvmConfig};

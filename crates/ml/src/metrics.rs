@@ -5,6 +5,22 @@
 //! of our main goals is to correctly identify network locations with video
 //! performance issues."
 
+/// One row of a per-class classification report: who the class is, how many
+/// observations it actually had, and how well the classifier did on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassReport {
+    /// Class index.
+    pub class: usize,
+    /// Observations whose actual label is this class.
+    pub support: usize,
+    /// TP / actual positives.
+    pub recall: f64,
+    /// TP / predicted positives.
+    pub precision: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
 /// A confusion matrix with `counts[actual][predicted]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
@@ -89,6 +105,28 @@ impl ConfusionMatrix {
     /// Observations with `actual == class`; 0 for an unknown class.
     pub fn actual_count(&self, class: usize) -> usize {
         self.counts.get(class).map_or(0, |row| row.iter().sum())
+    }
+
+    /// Support for `class`: the number of observations whose actual label is
+    /// `class`. Alias of [`ConfusionMatrix::actual_count`] under the name
+    /// classification reports conventionally use.
+    pub fn support(&self, class: usize) -> usize {
+        self.actual_count(class)
+    }
+
+    /// Per-class report rows (support, recall, precision, F1), one per
+    /// class. Support makes the recall numbers interpretable: a 0.95 recall
+    /// over 20 sessions and over 2000 sessions are very different claims.
+    pub fn class_reports(&self) -> Vec<ClassReport> {
+        (0..self.n_classes)
+            .map(|c| ClassReport {
+                class: c,
+                support: self.support(c),
+                recall: self.recall(c),
+                precision: self.precision(c),
+                f1: self.f1(c),
+            })
+            .collect()
     }
 
     /// Fraction correct overall; 0 when empty.
@@ -252,6 +290,25 @@ mod tests {
     fn degenerate_class_count_saturates() {
         let m = ConfusionMatrix::new(0);
         assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn support_and_class_reports() {
+        let m = sample();
+        assert_eq!(m.support(0), 10);
+        assert_eq!(m.support(1), 10);
+        assert_eq!(m.support(9), 0, "unknown class has zero support");
+        let reports = m.class_reports();
+        assert_eq!(reports.len(), 2);
+        for (c, r) in reports.iter().enumerate() {
+            assert_eq!(r.class, c);
+            assert_eq!(r.support, m.actual_count(c));
+            assert!((r.recall - m.recall(c)).abs() < 1e-12);
+            assert!((r.precision - m.precision(c)).abs() < 1e-12);
+            assert!((r.f1 - m.f1(c)).abs() < 1e-12);
+        }
+        let total_support: usize = reports.iter().map(|r| r.support).sum();
+        assert_eq!(total_support, m.total(), "supports partition in-range observations");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The shared progress reporter for experiment binaries.
+//!
+//! Bench binaries print two kinds of text: *results* (tables, JSON — the
+//! deliverable, always printed) and *progress narration* (what is running,
+//! how far along). The narration goes through [`Reporter`] so one env var
+//! controls it everywhere:
+//!
+//! * `DTP_LOG=quiet` (or `0`) — progress suppressed, results only;
+//! * unset / `DTP_LOG=info` — normal progress;
+//! * `DTP_LOG=verbose` (or `debug`, `2`) — extra per-step detail.
+//!
+//! Warnings always print, to stderr.
+
+use std::io::Write;
+
+/// How much narration to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Results only.
+    Quiet,
+    /// Progress lines (default).
+    #[default]
+    Normal,
+    /// Progress plus per-step detail.
+    Verbose,
+}
+
+impl Verbosity {
+    /// Parse a `DTP_LOG` value; unknown strings mean [`Verbosity::Normal`].
+    pub fn parse(value: &str) -> Self {
+        match value.to_ascii_lowercase().as_str() {
+            "quiet" | "silent" | "0" | "off" => Verbosity::Quiet,
+            "verbose" | "debug" | "trace" | "2" => Verbosity::Verbose,
+            _ => Verbosity::Normal,
+        }
+    }
+}
+
+/// Progress reporter with an env-controlled verbosity level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reporter {
+    level: Verbosity,
+}
+
+impl Reporter {
+    /// Reporter at an explicit level.
+    pub fn new(level: Verbosity) -> Self {
+        Self { level }
+    }
+
+    /// Reporter configured from the `DTP_LOG` env var.
+    pub fn from_env() -> Self {
+        let level = std::env::var("DTP_LOG")
+            .map(|v| Verbosity::parse(&v))
+            .unwrap_or_default();
+        Self { level }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> Verbosity {
+        self.level
+    }
+
+    /// Progress line; suppressed at `quiet`.
+    pub fn info(&self, msg: &str) {
+        if self.level >= Verbosity::Normal {
+            println!("{msg}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+
+    /// Per-step detail; printed only at `verbose`.
+    pub fn verbose(&self, msg: &str) {
+        if self.level >= Verbosity::Verbose {
+            println!("{msg}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+
+    /// Warning to stderr; never suppressed.
+    pub fn warn(&self, msg: &str) {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(Verbosity::parse("quiet"), Verbosity::Quiet);
+        assert_eq!(Verbosity::parse("0"), Verbosity::Quiet);
+        assert_eq!(Verbosity::parse("VERBOSE"), Verbosity::Verbose);
+        assert_eq!(Verbosity::parse("debug"), Verbosity::Verbose);
+        assert_eq!(Verbosity::parse("info"), Verbosity::Normal);
+        assert_eq!(Verbosity::parse("anything"), Verbosity::Normal);
+    }
+
+    #[test]
+    fn ordering_gates_output() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        // No env manipulation (tests run in parallel): construct directly.
+        let r = Reporter::new(Verbosity::Quiet);
+        assert_eq!(r.level(), Verbosity::Quiet);
+        r.info("suppressed");
+        r.warn("always printed");
+    }
+}

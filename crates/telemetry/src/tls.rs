@@ -125,6 +125,7 @@ impl ProxyLog {
         &mut self,
         records: I,
     ) -> &IngestStats {
+        let _span = dtp_obs::span!("ingest.batch");
         for rec in records {
             let _ = self.try_push(rec);
         }

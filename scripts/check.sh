@@ -1,10 +1,27 @@
 #!/usr/bin/env bash
-# Offline CI gate: release build, full test suite, lint-clean.
+# Offline CI gate: release build, full test suite, lint-clean, and a smoke
+# run of the pipeline cost profiler (its JSON artifact must carry the
+# documented schema keys).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p dtp-obs --all-targets -- -D warnings
+
+profile=target/pipeline_profile.json
+rm -f "$profile"
+DTP_PROFILE_OUT="$profile" ./target/release/pipeline_profile --smoke
+if [[ ! -s "$profile" ]]; then
+    echo "check.sh: $profile missing or empty" >&2
+    exit 1
+fi
+for key in schema stages tls packet memory_ratio compute_ratio spans metrics; do
+    if ! grep -q "\"$key\"" "$profile"; then
+        echo "check.sh: $profile is missing required key \"$key\"" >&2
+        exit 1
+    fi
+done
 
 echo "check.sh: all gates passed"
