@@ -29,11 +29,14 @@ fn main() {
         json.insert(svc.name().to_string(), serde_json::json!(top));
     }
 
-    let shared: Vec<_> = appearance
+    // HashMap iteration order is random per process; sort so the printed
+    // transcript is byte-identical across runs (a repo-wide invariant).
+    let mut shared: Vec<_> = appearance
         .iter()
         .filter(|(_, &c)| c == 3)
         .map(|(n, _)| n.clone())
         .collect();
+    shared.sort();
     let unique = appearance.values().filter(|&&c| c == 1).count();
     println!("\nFeatures in all three top-10 lists ({}): {shared:?}", shared.len());
     println!("Features in exactly one list: {unique}");

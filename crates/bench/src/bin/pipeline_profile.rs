@@ -244,12 +244,28 @@ fn main() {
     reporter.info("\ndirectional checks passed: TLS view is cheaper on records and compute");
 }
 
+/// Everything one session contributes to the profile.
+struct SessionRun {
+    label: usize,
+    tls_row: Vec<f64>,
+    pkt_row: Vec<f64>,
+    stages: StageSeconds,
+    tls_records: usize,
+    pkt_records: usize,
+    tls_extract_s: f64,
+    pkt_extract_s: f64,
+}
+
 /// Run the full pipeline for one service with per-stage spans and timers.
 ///
 /// Sessions stream through simulate → ingest → split → extract one at a
 /// time (packet captures are too large to hold for a whole corpus — that is
-/// the point of the paper), so each stage span re-enters per session and the
-/// exported tree aggregates them by path.
+/// the point of the paper), fanned out over dtp-par workers (`DTP_THREADS`)
+/// since sessions are independent. Each stage span re-enters per session
+/// (as a root span on its worker thread) and the exported tree aggregates
+/// them by path; per-stage seconds are summed CPU seconds across workers,
+/// so the TLS-vs-packet ratios stay thread-count independent while overall
+/// wall clock shrinks with the worker count.
 fn profile_service(
     service: ServiceId,
     sessions: usize,
@@ -269,10 +285,8 @@ fn profile_service(
     stages.generate = sw.elapsed_s();
 
     let splitter = SessionSplitter::default();
-    let mut tls_rows = Vec::with_capacity(sessions);
-    let mut pkt_rows = Vec::with_capacity(sessions);
-    let mut labels = Vec::with_capacity(sessions);
-    for (i, e) in traces.entries().iter().enumerate() {
+    let runs = dtp_par::par_map("pipeline.sessions", traces.entries(), |i, e| {
+        let mut run_stages = StageSeconds::default();
         let sw = Stopwatch::start();
         let s = {
             let _g = dtp_obs::span!("simulate");
@@ -285,11 +299,11 @@ fn profile_service(
                 capture_packets: true,
             })
         };
-        stages.simulate += sw.elapsed_s();
+        run_stages.simulate = sw.elapsed_s();
 
         let q = quality_category(&s.ground_truth, &s.profile);
         let r = rebuffering_label(&s.ground_truth);
-        labels.push(combined_label(q, r).index());
+        let label = combined_label(q, r).index();
 
         // Re-ingest the exported transactions through the typed boundary,
         // exactly as an ISP-side collector would.
@@ -300,7 +314,7 @@ fn profile_service(
             log.ingest_all(s.telemetry.tls.into_transactions());
             log.sort_by_start();
         }
-        stages.ingest += sw.elapsed_s();
+        run_stages.ingest = sw.elapsed_s();
 
         let sw = Stopwatch::start();
         {
@@ -308,25 +322,46 @@ fn profile_service(
             let flags = splitter.detect(log.transactions());
             assert_eq!(flags.len(), log.len(), "one boundary flag per transaction");
         }
-        stages.split += sw.elapsed_s();
-
-        tls.records += log.len();
-        tls.bytes += MemoryFootprint::of_records::<TlsTransactionRecord>(log.len()).bytes;
-        packet.records += s.telemetry.packets.len();
-        packet.bytes +=
-            MemoryFootprint::of_records::<PacketRecord>(s.telemetry.packets.len()).bytes;
+        run_stages.split = sw.elapsed_s();
 
         let sw = Stopwatch::start();
-        {
+        let (tls_row, pkt_row, tls_extract_s, pkt_extract_s) = {
             let _g = dtp_obs::span!("extract");
             let t = Stopwatch::start();
-            tls_rows.push(extract_tls_features_checked(log.transactions()).0);
-            tls.extract_s += t.elapsed_s();
+            let tls_row = extract_tls_features_checked(log.transactions()).0;
+            let tls_extract_s = t.elapsed_s();
             let t = Stopwatch::start();
-            pkt_rows.push(extract_packet_features(&s.telemetry.packets));
-            packet.extract_s += t.elapsed_s();
+            let pkt_row = extract_packet_features(&s.telemetry.packets);
+            (tls_row, pkt_row, tls_extract_s, t.elapsed_s())
+        };
+        run_stages.extract = sw.elapsed_s();
+
+        SessionRun {
+            label,
+            tls_row,
+            pkt_row,
+            stages: run_stages,
+            tls_records: log.len(),
+            pkt_records: s.telemetry.packets.len(),
+            tls_extract_s,
+            pkt_extract_s,
         }
-        stages.extract += sw.elapsed_s();
+    });
+
+    let mut tls_rows = Vec::with_capacity(sessions);
+    let mut pkt_rows = Vec::with_capacity(sessions);
+    let mut labels = Vec::with_capacity(sessions);
+    for run in runs {
+        stages.add(&run.stages);
+        tls.records += run.tls_records;
+        tls.bytes += MemoryFootprint::of_records::<TlsTransactionRecord>(run.tls_records).bytes;
+        packet.records += run.pkt_records;
+        packet.bytes += MemoryFootprint::of_records::<PacketRecord>(run.pkt_records).bytes;
+        tls.extract_s += run.tls_extract_s;
+        packet.extract_s += run.pkt_extract_s;
+        labels.push(run.label);
+        tls_rows.push(run.tls_row);
+        pkt_rows.push(run.pkt_row);
     }
     reporter.verbose(&format!(
         "  {}: {} TLS records, {} packets across {sessions} sessions",

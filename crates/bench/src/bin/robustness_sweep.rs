@@ -55,8 +55,11 @@ fn main() {
     ));
 
     // Train once, on clean data only — degradation below is purely a
-    // test-time data-quality effect, as in deployment.
-    let x: Vec<Vec<f64>> = train.iter().map(|(t, _)| extract_tls_features_checked(t).0).collect();
+    // test-time data-quality effect, as in deployment. Extraction fans out
+    // per session on dtp-par workers (DTP_THREADS).
+    let x: Vec<Vec<f64>> = dtp_par::par_map("sweep.extract_train", &train, |_, (t, _)| {
+        extract_tls_features_checked(t).0
+    });
     let y: Vec<usize> = train.iter().map(|(_, l)| *l).collect();
     let mut forest = RandomForest::new(QoeEstimator::forest_config(cfg.seed));
     forest.fit(&x, &y, 3);
@@ -176,6 +179,11 @@ fn build_split(
 
 /// Perturb every test session under `plan`, re-ingest through the boundary,
 /// extract features, and score the trained model.
+///
+/// Sessions are independent, so the whole perturb → ingest → extract →
+/// predict chain fans out per session on dtp-par workers; the injector is
+/// already per-item seeded (`for_item(i)`), so results are identical at
+/// any thread count. Tallies fold back together in session order.
 fn evaluate(
     forest: &RandomForest,
     test: &[(Vec<TlsTransactionRecord>, usize)],
@@ -183,21 +191,26 @@ fn evaluate(
     seed: u64,
 ) -> SweepResult {
     let injector = FaultInjector::new(plan.clone(), seed ^ 0xda7a_5eed);
+    let per_session = dtp_par::par_map("sweep.evaluate", test, |i, (txs, label)| {
+        let (perturbed, report) = injector.for_item(i as u64).perturb_transactions(txs);
+        // Deployment path: the perturbed export crosses the typed ingest
+        // boundary (quarantine-and-continue), then gets sorted and featurized.
+        let mut log = ProxyLog::new();
+        let ingest = log.ingest_all(perturbed).clone();
+        log.sort_by_start();
+        let (row, quality) = extract_tls_features_checked(log.transactions());
+        (report, ingest, quality.imputed, *label, forest.predict(&row))
+    });
+
     let mut faults = FaultReport::default();
     let mut ingest = IngestStats::default();
     let mut imputed = 0usize;
     let mut cm = ConfusionMatrix::new(3);
-    for (i, (txs, label)) in test.iter().enumerate() {
-        let (perturbed, report) = injector.for_item(i as u64).perturb_transactions(txs);
-        faults.absorb(&report);
-        // Deployment path: the perturbed export crosses the typed ingest
-        // boundary (quarantine-and-continue), then gets sorted and featurized.
-        let mut log = ProxyLog::new();
-        ingest.absorb(log.ingest_all(perturbed));
-        log.sort_by_start();
-        let (row, quality) = extract_tls_features_checked(log.transactions());
-        imputed += quality.imputed;
-        cm.record(*label, forest.predict(&row));
+    for (report, session_ingest, session_imputed, label, pred) in &per_session {
+        faults.absorb(report);
+        ingest.absorb(session_ingest);
+        imputed += session_imputed;
+        cm.record(*label, *pred);
     }
     SweepResult {
         accuracy: cm.accuracy(),

@@ -1,11 +1,19 @@
-//! Run every experiment binary in sequence (the full paper reproduction).
+//! Run every experiment binary (the full paper reproduction).
 //!
 //! Equivalent to invoking each `fig*`/`table*`/`extra*` binary; honours the
 //! same `DTP_SESSIONS` / `DTP_SEED` / `DTP_JSON` environment knobs, plus
 //! `DTP_LOG` for progress verbosity (the children's own output is passed
 //! through untouched — it is the deliverable).
+//!
+//! Children are independent processes, so they fan out over dtp-par workers
+//! (`DTP_THREADS`); each child's stdout/stderr is captured and replayed in
+//! the fixed [`BINARIES`] order, so the combined transcript is byte-identical
+//! to a sequential run regardless of the thread count. Children run their
+//! own pipelines serially (DTP_THREADS=1 is forced on them when the parent
+//! fans out) so the machine is not oversubscribed.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Output};
 
 use dtp_bench::Reporter;
 
@@ -32,17 +40,29 @@ const BINARIES: [&str; 17] = [
 fn main() {
     let reporter = Reporter::from_env();
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin directory");
-    let mut failures = Vec::new();
-    for (i, bin) in BINARIES.iter().enumerate() {
+    let dir = exe.parent().expect("bin directory").to_path_buf();
+    let fan_out = dtp_par::thread_count() > 1;
+
+    let results = dtp_par::par_map("run_all.binaries", &BINARIES, |i, bin| {
         reporter.verbose(&format!("[{}/{}] {bin}", i + 1, BINARIES.len()));
-        let path = dir.join(bin);
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                reporter.warn(&format!("{bin} exited with {s}"));
-                failures.push(*bin);
+        let mut cmd = Command::new(dir.join(bin));
+        if fan_out {
+            // The parent already saturates the cores with one child per
+            // worker; nested pipeline parallelism would only thrash.
+            cmd.env("DTP_THREADS", "1");
+        }
+        cmd.output()
+    });
+
+    let mut failures = Vec::new();
+    for (bin, result) in BINARIES.iter().zip(&results) {
+        match result {
+            Ok(out) => {
+                replay(out);
+                if !out.status.success() {
+                    reporter.warn(&format!("{bin} exited with {}", out.status));
+                    failures.push(*bin);
+                }
             }
             Err(e) => {
                 reporter.warn(&format!(
@@ -52,6 +72,7 @@ fn main() {
             }
         }
     }
+
     // extra_intervals is cheap; run it last so a partial run still covers
     // every paper artifact above.
     reporter.verbose("[extra] extra_intervals");
@@ -61,4 +82,10 @@ fn main() {
         std::process::exit(1);
     }
     reporter.info("\nrun_all: every experiment binary completed");
+}
+
+/// Replay a captured child's streams on the parent's, preserving the split.
+fn replay(out: &Output) {
+    let _ = std::io::stdout().write_all(&out.stdout);
+    let _ = std::io::stderr().write_all(&out.stderr);
 }

@@ -25,9 +25,10 @@ impl std::fmt::Debug for QoeEstimator {
 }
 
 impl QoeEstimator {
-    /// The forest configuration used throughout the reproduction.
+    /// The forest configuration used throughout the reproduction — the
+    /// paper's §4.2 hyperparameters (see [`RandomForestConfig::for_paper`]).
     pub fn forest_config(seed: u64) -> RandomForestConfig {
-        RandomForestConfig { n_trees: 100, seed, ..Default::default() }
+        RandomForestConfig::for_paper(seed)
     }
 
     /// Train on a corpus for one QoE metric.

@@ -21,10 +21,10 @@ pub mod stats;
 pub mod tls;
 
 pub use flow::{extract_flow_features, flow_feature_names};
-pub use packet::{extract_packet_features, packet_feature_names};
+pub use packet::{extract_packet_features, extract_packet_features_batch, packet_feature_names};
 pub use tls::{
-    extract_tls_features, extract_tls_features_checked,
-    extract_tls_features_checked_with_intervals, extract_tls_features_with_intervals,
-    tls_feature_names, tls_feature_names_with_intervals, FeatureGroup, FeatureQuality,
-    TEMPORAL_INTERVALS_S,
+    extract_tls_features, extract_tls_features_batch, extract_tls_features_batch_checked,
+    extract_tls_features_checked, extract_tls_features_checked_with_intervals,
+    extract_tls_features_with_intervals, tls_feature_names, tls_feature_names_with_intervals,
+    FeatureGroup, FeatureQuality, TEMPORAL_INTERVALS_S,
 };

@@ -164,6 +164,14 @@ pub fn extract_packet_features(capture: &PacketCapture) -> Vec<f64> {
     out
 }
 
+/// Extract the ML16 vector for every capture in a corpus, fanned out over
+/// `dtp-par` workers. Row order matches input order at any thread count.
+/// This is the paper's 503-seconds-per-corpus path (Table 4) — the one
+/// that needs the parallelism most.
+pub fn extract_packet_features_batch(captures: &[PacketCapture]) -> Vec<Vec<f64>> {
+    dtp_par::par_map("extract.packet_sessions", captures, |_, c| extract_packet_features(c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,23 @@ pub fn extract_tls_features_with_intervals(
     extract_tls_features_checked_with_intervals(transactions, intervals_s).0
 }
 
+/// Extract the 38-feature vector for every session in a corpus, fanned out
+/// over `dtp-par` workers (`DTP_THREADS`). Row `i` is always the features
+/// of `sessions[i]`, at any thread count.
+pub fn extract_tls_features_batch(sessions: &[Vec<TlsTransactionRecord>]) -> Vec<Vec<f64>> {
+    dtp_par::par_map("extract.tls_sessions", sessions, |_, txs| extract_tls_features(txs))
+}
+
+/// Batch variant of [`extract_tls_features_checked`]: features plus the
+/// per-session [`FeatureQuality`] report, in input order.
+pub fn extract_tls_features_batch_checked(
+    sessions: &[Vec<TlsTransactionRecord>],
+) -> Vec<(Vec<f64>, FeatureQuality)> {
+    dtp_par::par_map("extract.tls_sessions", sessions, |_, txs| {
+        extract_tls_features_checked(txs)
+    })
+}
+
 /// Checked extraction with custom intervals.
 pub fn extract_tls_features_checked_with_intervals(
     transactions: &[TlsTransactionRecord],
@@ -411,6 +428,30 @@ mod tests {
         let (_, q_empty) = extract_tls_features_checked(&[]);
         assert!(q_empty.empty_input);
         assert_eq!(q_empty.imputed, 0);
+    }
+
+    #[test]
+    fn batch_extraction_matches_per_session_calls() {
+        let sessions: Vec<Vec<TlsTransactionRecord>> = (0..37)
+            .map(|s| {
+                (0..=s % 5)
+                    .map(|t| {
+                        let t0 = (s * 10 + t) as f64;
+                        tx(t0, t0 + 5.0, 100.0 + t as f64, 10_000.0 * (t + 1) as f64)
+                    })
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<Vec<f64>> = sessions.iter().map(|s| extract_tls_features(s)).collect();
+        let serial = dtp_par::with_threads(1, || extract_tls_features_batch(&sessions));
+        let parallel = dtp_par::with_threads(4, || extract_tls_features_batch(&sessions));
+        assert_eq!(serial, expect);
+        assert_eq!(parallel, expect);
+        let checked = extract_tls_features_batch_checked(&sessions);
+        for (i, (row, q)) in checked.iter().enumerate() {
+            assert_eq!(row, &expect[i]);
+            assert!(q.is_pristine());
+        }
     }
 
     #[test]

@@ -73,18 +73,19 @@ impl CvResult {
 /// Run k-fold cross-validation, building a fresh model per fold via
 /// `factory`. Models see raw features; apply scaling inside the factory's
 /// model if needed (tree models — the paper's winner — don't need it).
+///
+/// Folds train concurrently on `dtp-par` workers (`factory` is called once
+/// per fold, possibly from different threads — hence `Sync`); results are
+/// folded back together in fold order, so the output is identical at any
+/// `DTP_THREADS` setting.
 pub fn cross_validate<F>(dataset: &Dataset, k: usize, seed: u64, factory: F) -> CvResult
 where
-    F: Fn() -> Box<dyn Classifier>,
+    F: Fn() -> Box<dyn Classifier> + Sync,
 {
     let _span = dtp_obs::span!("train.cross_validate");
     let folds = stratified_kfold(&dataset.labels, k, seed);
-    let mut confusion = ConfusionMatrix::new(dataset.n_classes);
-    let mut fold_accuracies = Vec::with_capacity(k);
-    let mut importance_acc: Option<Vec<f64>> = None;
-    let mut importance_folds = 0usize;
 
-    for (train_idx, test_idx) in &folds {
+    let per_fold = dtp_par::par_map("train.cv_folds", &folds, |_, (train_idx, test_idx)| {
         let train = dataset.subset(train_idx);
         let mut model = factory();
         model.fit(&train.features, &train.labels, dataset.n_classes);
@@ -94,10 +95,18 @@ where
             let pred = model.predict(&dataset.features[i]);
             fold_cm.record(dataset.labels[i], pred);
         }
+        let importances = model.feature_importances();
+        (fold_cm, importances)
+    });
+
+    let mut confusion = ConfusionMatrix::new(dataset.n_classes);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut importance_acc: Option<Vec<f64>> = None;
+    let mut importance_folds = 0usize;
+    for (fold_cm, imp) in per_fold {
         fold_accuracies.push(fold_cm.accuracy());
         confusion.merge(&fold_cm);
-
-        if let Some(imp) = model.feature_importances() {
+        if let Some(imp) = imp {
             match &mut importance_acc {
                 None => importance_acc = Some(imp),
                 Some(acc) => {

@@ -3,6 +3,10 @@
 //! The paper's winning model (§4.2). Importances are the mean of per-tree
 //! impurity decreases, normalized to sum to 1 — the quantity plotted in
 //! Fig. 6.
+//!
+//! Training and batch prediction fan out over `dtp-par`: each tree derives
+//! its RNG stream from `task_seed(seed, tree_index)`, so the fitted forest
+//! is bitwise identical at any `DTP_THREADS` setting.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -12,6 +16,13 @@ use crate::tree::{argmax, normalize, DecisionTree, MaxFeatures, TreeConfig};
 use crate::Classifier;
 
 /// Forest hyperparameters.
+///
+/// Note the deliberate divergence from [`TreeConfig::default`]: a plain
+/// [`DecisionTree`] defaults to [`MaxFeatures::All`] (classic single CART —
+/// considering every feature is what makes one tree a strong standalone
+/// learner), while the forest overrides its trees to [`MaxFeatures::Sqrt`],
+/// the Random Forest de-correlation mechanism. Use [`Self::for_paper`] for
+/// the exact §4.2 configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RandomForestConfig {
     /// Number of trees.
@@ -35,6 +46,16 @@ impl Default for RandomForestConfig {
     }
 }
 
+impl RandomForestConfig {
+    /// The paper's §4.2 hyperparameters: 100 bootstrapped trees with
+    /// `sqrt(d)` feature subsampling per split (the scikit-learn
+    /// `RandomForestClassifier` defaults the paper trains with), seeded
+    /// for reproducibility.
+    pub fn for_paper(seed: u64) -> Self {
+        Self { n_trees: 100, seed, ..Default::default() }
+    }
+}
+
 /// A fitted Random Forest.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
@@ -53,24 +74,48 @@ impl RandomForest {
 
     /// Averaged class probabilities for one sample.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc = Vec::new();
+        self.predict_proba_into(x, &mut acc);
+        acc
+    }
+
+    /// Averaged class probabilities for one sample, written into a
+    /// caller-provided buffer (resized to `n_classes`).
+    ///
+    /// Batch prediction loops reuse one buffer across samples instead of
+    /// allocating a fresh `Vec` per call — see
+    /// [`predict_proba_batch`](Self::predict_proba_batch) and the
+    /// [`Classifier::predict_batch`] override.
+    pub fn predict_proba_into(&self, x: &[f64], acc: &mut Vec<f64>) {
         assert!(!self.trees.is_empty(), "forest is not fitted");
-        let mut acc = vec![0.0; self.n_classes];
+        acc.clear();
+        acc.resize(self.n_classes, 0.0);
         for t in &self.trees {
             for (a, p) in acc.iter_mut().zip(t.predict_proba(x)) {
                 *a += p;
             }
         }
         let n = self.trees.len() as f64;
-        for a in &mut acc {
+        for a in acc.iter_mut() {
             *a /= n;
         }
-        acc
+    }
+
+    /// Averaged class probabilities for every sample, fanned out over
+    /// `dtp-par` workers. Row order matches `xs` at any thread count.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        dtp_par::par_map("predict.forest_proba", xs, |_, x| self.predict_proba(x))
     }
 
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
     }
+}
+
+thread_local! {
+    /// Per-worker probability accumulator reused across a prediction batch.
+    static PROBA_BUF: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl Classifier for RandomForest {
@@ -80,24 +125,39 @@ impl Classifier for RandomForest {
         assert_eq!(x.len(), y.len(), "features and labels must align");
         self.n_classes = n_classes;
         self.n_features = x[0].len();
-        self.trees.clear();
         let n = x.len();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xf0f0_5757_0000_0001);
-        for _ in 0..self.config.n_trees {
-            let indices: Vec<usize> = if self.config.bootstrap {
+        // One independent RNG stream per tree, derived from (seed, tree
+        // index): tree t draws the same bootstrap and the same split
+        // subsets whether trees are fitted serially or in parallel.
+        let base = self.config.seed ^ 0xf0f0_5757_0000_0001;
+        let config = self.config;
+        self.trees = dtp_par::par_map_index("train.forest_trees", config.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(dtp_par::task_seed(base, t as u64));
+            let indices: Vec<usize> = if config.bootstrap {
                 (0..n).map(|_| rng.random_range(0..n)).collect()
             } else {
                 (0..n).collect()
             };
-            let mut tree = DecisionTree::new(self.config.tree);
+            let mut tree = DecisionTree::new(config.tree);
             tree.fit_indices(x, y, n_classes, &indices, &mut rng);
-            self.trees.push(tree);
-        }
+            tree
+        });
     }
 
     fn predict(&self, x: &[f64]) -> usize {
         dtp_obs::global().counter("predict.calls").inc();
         argmax(&self.predict_proba(x))
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        dtp_obs::global().counter("predict.calls").add(xs.len() as u64);
+        dtp_par::par_map("predict.forest_batch", xs, |_, x| {
+            PROBA_BUF.with(|buf| {
+                let mut buf = buf.borrow_mut();
+                self.predict_proba_into(x, &mut buf);
+                argmax(&buf)
+            })
+        })
     }
 
     fn feature_importances(&self) -> Option<Vec<f64>> {
@@ -201,6 +261,55 @@ mod tests {
             x.iter().map(|s| f.predict_proba(s)[0]).collect::<Vec<_>>()
         };
         assert_ne!(proba(1), proba(2));
+    }
+
+    #[test]
+    fn paper_config_matches_section_4_2() {
+        let cfg = RandomForestConfig::for_paper(7);
+        assert_eq!(cfg.n_trees, 100);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.bootstrap);
+        assert_eq!(cfg.tree.max_features, MaxFeatures::Sqrt);
+        // The standalone-tree default intentionally differs (single CART
+        // uses every feature); the forest must override it.
+        assert_eq!(TreeConfig::default().max_features, MaxFeatures::All);
+    }
+
+    #[test]
+    fn proba_into_reuses_buffer_and_matches_alloc_path() {
+        let (x, y) = noisy(120, 8);
+        let mut f = RandomForest::new(RandomForestConfig { n_trees: 9, ..Default::default() });
+        f.fit(&x, &y, 2);
+        let mut buf = Vec::new();
+        for s in x.iter().take(20) {
+            f.predict_proba_into(s, &mut buf);
+            assert_eq!(buf, f.predict_proba(s));
+        }
+        // Batch APIs agree with the per-sample path, in order.
+        let batch = f.predict_proba_batch(&x);
+        let preds = Classifier::predict_batch(&f, &x);
+        for (i, s) in x.iter().enumerate() {
+            assert_eq!(batch[i], f.predict_proba(s));
+            assert_eq!(preds[i], f.predict(s));
+        }
+    }
+
+    #[test]
+    fn fit_is_bitwise_identical_across_thread_counts() {
+        let (x, y) = noisy(200, 9);
+        let run = |threads: usize| {
+            dtp_par::with_threads(threads, || {
+                let mut f = RandomForest::new(RandomForestConfig {
+                    n_trees: 12,
+                    seed: 5,
+                    ..Default::default()
+                });
+                f.fit(&x, &y, 2);
+                let proba: Vec<f64> = x.iter().flat_map(|s| f.predict_proba(s)).collect();
+                (proba, f.feature_importances().unwrap())
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

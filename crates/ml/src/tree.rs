@@ -1,8 +1,22 @@
-//! CART decision trees (Gini impurity).
+//! CART decision trees (Gini impurity) with histogram split-finding.
 //!
 //! The building block for [`crate::forest::RandomForest`]. Supports feature
 //! subsampling per split (the forest's de-correlation mechanism) and
 //! accumulates impurity-decrease feature importances, which Fig. 6 needs.
+//!
+//! **Split search.** Instead of re-sorting every candidate feature column
+//! at every node (`O(n log n)` per node per feature), [`fit_indices`]
+//! quantile-bins each column *once per tree* into at most
+//! [`MAX_BINS`] = 256 bins ([`BinnedMatrix`]). A node's split search is
+//! then a linear pass over its rows (accumulating per-bin class counts)
+//! plus a sweep over the bins — `O(n + B·C)` per feature. When a column
+//! has ≤ 256 distinct values in the training sample (every unit test and
+//! most real feature columns), each distinct value gets its own bin and
+//! the search is *exact*, choosing the same thresholds the sort-and-scan
+//! search did; above that, thresholds snap to 256-quantile edges, the
+//! standard histogram-GBDT approximation.
+//!
+//! [`fit_indices`]: DecisionTree::fit_indices
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -57,6 +71,94 @@ enum Node {
     Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
+/// Cap on histogram bins per feature column.
+pub const MAX_BINS: usize = 256;
+
+/// Per-tree quantile binning of the feature matrix.
+///
+/// Built once per `fit_indices` call from the rows the tree trains on;
+/// every node's split search then reads bin indices instead of sorting raw
+/// values. `edges[f][b]` is the largest raw value assigned to bin `b`, so
+/// `bin(f, i) <= b  ⟺  x[i][f] <= edges[f][b]` — a bin-space split is
+/// exactly a raw-value threshold at a bin edge.
+struct BinnedMatrix {
+    /// Per feature: ascending raw upper-edge value of each bin.
+    edges: Vec<Vec<f64>>,
+    /// Bin index per `(feature, row)`, feature-major: `bins[f * n_rows + i]`.
+    bins: Vec<u16>,
+    n_rows: usize,
+}
+
+impl BinnedMatrix {
+    /// Bin every column of `x` using edges computed from the rows selected
+    /// by `indices` (with bootstrap repetition acting as quantile weights).
+    fn build(x: &[Vec<f64>], indices: &[usize]) -> Self {
+        let n_rows = x.len();
+        let d = x[0].len();
+        let mut edges = Vec::with_capacity(d);
+        let mut bins = vec![0u16; d * n_rows];
+        let mut vals: Vec<f64> = Vec::with_capacity(indices.len());
+        for f in 0..d {
+            vals.clear();
+            vals.extend(indices.iter().map(|&i| x[i][f]));
+            vals.sort_by(f64::total_cmp);
+            let mut e: Vec<f64> = Vec::with_capacity(vals.len().min(MAX_BINS));
+            if vals.len() <= MAX_BINS {
+                for &v in &vals {
+                    if e.last().is_none_or(|&last| v > last) {
+                        e.push(v);
+                    }
+                }
+            } else {
+                for q in 1..=MAX_BINS {
+                    let v = vals[q * vals.len() / MAX_BINS - 1];
+                    if e.last().is_none_or(|&last| v > last) {
+                        e.push(v);
+                    }
+                }
+            }
+            // Assign every row of `x` (rows outside `indices` clamp into
+            // the last bin; they are never visited during training, and
+            // prediction compares raw values, not bins).
+            let last = e.len().saturating_sub(1);
+            for (i, row) in x.iter().enumerate() {
+                let b = e.partition_point(|&edge| edge < row[f]).min(last);
+                bins[f * n_rows + i] = b as u16;
+            }
+            edges.push(e);
+        }
+        Self { edges, bins, n_rows }
+    }
+
+    #[inline]
+    fn bin(&self, f: usize, row: usize) -> usize {
+        self.bins[f * self.n_rows + row] as usize
+    }
+
+    fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len()
+    }
+}
+
+/// Reusable per-fit scratch buffers for the histogram split search.
+struct SplitScratch {
+    /// Per-bin class counts, `hist[b * n_classes + c]`.
+    hist: Vec<f64>,
+    /// Class counts left / right of the candidate boundary.
+    left: Vec<f64>,
+    right: Vec<f64>,
+}
+
+impl SplitScratch {
+    fn new(n_classes: usize) -> Self {
+        Self {
+            hist: vec![0.0; MAX_BINS * n_classes],
+            left: vec![0.0; n_classes],
+            right: vec![0.0; n_classes],
+        }
+    }
+}
+
 /// A fitted CART classifier.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionTree {
@@ -90,7 +192,9 @@ impl DecisionTree {
         self.importances = vec![0.0; d];
         let mut idx = indices.to_vec();
         let total = idx.len() as f64;
-        self.build(x, y, &mut idx, 0, total, rng);
+        let binned = BinnedMatrix::build(x, indices);
+        let mut scratch = SplitScratch::new(n_classes);
+        self.build(x, y, &mut idx, 0, total, rng, &binned, &mut scratch);
     }
 
     /// Class probabilities for one sample.
@@ -126,6 +230,7 @@ impl DecisionTree {
     }
 
     /// Build the subtree over `idx` (which it reorders), returning its node id.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &[Vec<f64>],
@@ -134,6 +239,8 @@ impl DecisionTree {
         depth: usize,
         total: f64,
         rng: &mut StdRng,
+        binned: &BinnedMatrix,
+        scratch: &mut SplitScratch,
     ) -> usize {
         let counts = self.class_counts(y, idx);
         let n = idx.len() as f64;
@@ -160,31 +267,43 @@ impl DecisionTree {
         feats.truncate(k);
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, decrease)
-        let mut sorted: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+        let nc = self.n_classes;
+        let min_leaf = self.config.min_samples_leaf.max(1) as f64;
         for &f in &feats {
-            sorted.clear();
-            sorted.extend(idx.iter().map(|&i| (x[i][f], y[i])));
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-            let mut left = vec![0.0; self.n_classes];
-            let mut right = counts.clone();
-            let min_leaf = self.config.min_samples_leaf;
-            for i in 0..sorted.len() - 1 {
-                let (v, c) = sorted[i];
-                left[c] += 1.0;
-                right[c] -= 1.0;
-                let next_v = sorted[i + 1].0;
-                if next_v <= v {
-                    continue; // no threshold between equal values
+            let nb = binned.n_bins(f);
+            if nb < 2 {
+                continue; // constant column in the training sample
+            }
+            // One linear pass over the node's rows builds per-bin class
+            // counts; candidate thresholds are then bin edges.
+            let hist = &mut scratch.hist[..nb * nc];
+            hist.fill(0.0);
+            for &i in idx.iter() {
+                hist[binned.bin(f, i) * nc + y[i]] += 1.0;
+            }
+            scratch.left.fill(0.0);
+            scratch.right.copy_from_slice(&counts);
+            let mut nl = 0.0;
+            for b in 0..nb - 1 {
+                let row = &hist[b * nc..(b + 1) * nc];
+                let bin_total: f64 = row.iter().sum();
+                if bin_total == 0.0 {
+                    continue; // no node rows here: same boundary as before
                 }
-                let nl = (i + 1) as f64;
+                for (c, &count) in row.iter().enumerate() {
+                    scratch.left[c] += count;
+                    scratch.right[c] -= count;
+                }
+                nl += bin_total;
                 let nr = n - nl;
-                if (i + 1) < min_leaf || (sorted.len() - i - 1) < min_leaf {
+                if nl < min_leaf || nr < min_leaf {
                     continue;
                 }
-                let decrease =
-                    node_gini - (nl / n) * gini(&left, nl) - (nr / n) * gini(&right, nr);
+                let decrease = node_gini
+                    - (nl / n) * gini(&scratch.left, nl)
+                    - (nr / n) * gini(&scratch.right, nr);
                 if decrease > best.map_or(1e-12, |b| b.2) {
-                    best = Some((f, v, decrease));
+                    best = Some((f, binned.edges[f][b], decrease));
                 }
             }
         }
@@ -209,8 +328,8 @@ impl DecisionTree {
         let me = self.nodes.len() - 1;
         let (li, ri) = {
             let (l, r) = idx.split_at_mut(split_point);
-            let li = self.build(x, y, l, depth + 1, total, rng);
-            let ri = self.build(x, y, r, depth + 1, total, rng);
+            let li = self.build(x, y, l, depth + 1, total, rng, binned, scratch);
+            let ri = self.build(x, y, r, depth + 1, total, rng, binned, scratch);
             (li, ri)
         };
         self.nodes[me] = Node::Split { feature, threshold, left: li, right: ri };

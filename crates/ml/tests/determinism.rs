@@ -1,0 +1,88 @@
+//! The parallel execution contract: `fit` and `cross_validate` produce
+//! BITWISE identical predictions, probabilities, and importances at
+//! `DTP_THREADS=1` and `DTP_THREADS=4` (exercised via the scoped
+//! `dtp_par::with_threads` override so the test cannot race the env).
+
+use dtp_ml::{cross_validate, Classifier, Dataset, RandomForest, RandomForestConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let a: f64 = rng.random_range(0.0..10.0);
+        let b: f64 = rng.random_range(0.0..10.0);
+        let c: f64 = rng.random_range(0.0..1.0);
+        x.push(vec![a, b, c]);
+        y.push(usize::from(a + b > 10.0));
+    }
+    Dataset::new(x, y, vec!["a".into(), "b".into(), "noise".into()], 2)
+}
+
+/// Everything a training + evaluation run produces, bit-for-bit comparable.
+#[derive(Debug, PartialEq)]
+struct RunArtifacts {
+    proba: Vec<u64>,
+    predictions: Vec<usize>,
+    fit_importances: Vec<u64>,
+    fold_accuracies: Vec<u64>,
+    cv_importances: Vec<u64>,
+    confusion_total: usize,
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn run_at(threads: usize, ds: &Dataset) -> RunArtifacts {
+    dtp_par::with_threads(threads, || {
+        let mut forest = RandomForest::new(RandomForestConfig {
+            n_trees: 16,
+            seed: 11,
+            ..Default::default()
+        });
+        forest.fit(&ds.features, &ds.labels, ds.n_classes);
+        let proba: Vec<f64> =
+            forest.predict_proba_batch(&ds.features).into_iter().flatten().collect();
+        let predictions = forest.predict_batch(&ds.features);
+        let fit_importances = forest.feature_importances().expect("forest importances");
+
+        let cv = cross_validate(ds, 4, 3, || {
+            Box::new(RandomForest::new(RandomForestConfig {
+                n_trees: 8,
+                seed: 11,
+                ..Default::default()
+            }))
+        });
+        RunArtifacts {
+            proba: bits(&proba),
+            predictions,
+            fit_importances: bits(&fit_importances),
+            fold_accuracies: bits(&cv.fold_accuracies),
+            cv_importances: bits(&cv.importances.expect("cv importances")),
+            confusion_total: cv.confusion.total(),
+        }
+    })
+}
+
+#[test]
+fn fit_and_cross_validate_identical_at_1_and_4_threads() {
+    let ds = dataset(180, 21);
+    let serial = run_at(1, &ds);
+    let parallel = run_at(4, &ds);
+    assert_eq!(serial, parallel);
+    // And against a third thread count, for good measure.
+    assert_eq!(serial, run_at(3, &ds));
+}
+
+#[test]
+fn determinism_holds_under_env_thread_override() {
+    // with_threads beats the env var, but the env path must parse: this is
+    // what `scripts/check.sh` exercises with `DTP_THREADS=2 cargo test`.
+    let ds = dataset(60, 4);
+    let a = run_at(1, &ds);
+    let b = run_at(2, &ds);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,273 @@
+//! The scoped work-stealing pool behind [`par_map`](crate::par_map).
+//!
+//! Each call pre-splits the index range into chunks (about four per
+//! worker), deals them round-robin onto per-worker deques, and spawns a
+//! scoped worker per thread. Workers pop their own deque from the front
+//! and, when empty, steal from a victim's back — the classic arrangement
+//! that keeps owners cache-local while spreading stragglers. No work is
+//! ever *produced* after start, so "every deque empty" is a terminal
+//! state and workers simply exit on it.
+//!
+//! Results are written straight into slot `i` of the output vector through
+//! a shared raw pointer. Chunks partition `0..n`, so every slot is written
+//! by exactly one worker — no two threads ever touch the same element.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on workers per call, a sanity clamp for absurd env values.
+const MAX_THREADS: usize = 256;
+
+/// Chunks dealt per worker; more chunks = finer stealing granularity.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// Scoped [`with_threads`] override for this thread.
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True on pool worker threads: nested calls run serial instead of
+    /// spawning a second level of workers (oversubscription guard).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count a parallel call issued right now would use.
+///
+/// Resolution order: [`with_threads`] override → `DTP_THREADS` env var
+/// (values `< 1` or unparsable are ignored) → available parallelism.
+/// Inside a pool worker this is always 1.
+#[must_use]
+pub fn thread_count() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.clamp(1, MAX_THREADS);
+    }
+    if let Some(n) = std::env::var("DTP_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n >= 1 {
+            return n.min(MAX_THREADS);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_THREADS))
+}
+
+/// Run `f` with the worker count pinned to `threads` on this thread.
+///
+/// Scoped and panic-safe: the previous setting is restored when `f`
+/// returns or unwinds. This is the deterministic-test and benchmarking
+/// entry point — `with_threads(1, ..)` vs `with_threads(4, ..)` must
+/// produce bitwise identical results from any [`par_map`] caller that
+/// seeds per task.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Output slots shared with workers. Safety contract: the pointee vector
+/// outlives the scope, and workers write disjoint indices exactly once.
+struct Slots<R>(*mut Option<R>);
+unsafe impl<R: Send> Send for Slots<R> {}
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+/// Parallel map over an index range: returns `[f(0), f(1), .., f(n-1)]`.
+///
+/// Semantically identical to `(0..n).map(f).collect()` for any pure (or
+/// per-index-seeded) `f`, at any thread count — only wall-clock changes.
+/// `label` names the stage for observability: the call is timed under a
+/// `par.<label>` span and tasks/steals land in the global registry.
+pub fn par_map_index<R, F>(label: &str, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let span_name = format!("par.{label}");
+    let _span = dtp_obs::span::SpanGuard::enter(&span_name);
+    let registry = dtp_obs::global();
+    registry.counter("par.tasks").add(n as u64);
+
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 {
+        registry.counter("par.serial_calls").inc();
+        return (0..n).map(f).collect();
+    }
+    registry.counter("par.parallel_calls").inc();
+
+    // Deal chunks round-robin onto per-worker deques.
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut start = 0;
+    let mut dealt = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        queues[dealt % threads].lock().expect("queue mutex").push_back(start..end);
+        start = end;
+        dealt += 1;
+    }
+
+    let steals = AtomicU64::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = Slots(out.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let steals = &steals;
+        let slots = &slots;
+        let f = &f;
+        for w in 0..threads {
+            scope.spawn(move || {
+                IN_WORKER.with(|c| c.set(true));
+                loop {
+                    // Own deque first (front), then steal (back).
+                    let mut job = queues[w].lock().expect("queue mutex").pop_front();
+                    if job.is_none() {
+                        for off in 1..threads {
+                            let victim = (w + off) % threads;
+                            if let Some(r) =
+                                queues[victim].lock().expect("queue mutex").pop_back()
+                            {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                job = Some(r);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(range) = job else { break };
+                    for i in range {
+                        let r = f(i);
+                        // SAFETY: chunks partition 0..n, so index `i` is
+                        // written by exactly this worker, exactly once,
+                        // while `out` itself is untouched by the parent.
+                        unsafe { *slots.0.add(i) = Some(r) };
+                    }
+                }
+            });
+        }
+    });
+
+    registry.counter("par.steals").add(steals.load(Ordering::Relaxed));
+    out.into_iter()
+        .map(|slot| slot.expect("every index in 0..n was chunked to a worker"))
+        .collect()
+}
+
+/// Parallel map over a slice; `f` receives `(index, &item)`.
+///
+/// Output order matches input order at any thread count.
+pub fn par_map<T, R, F>(label: &str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_index(label, items.len(), |i| f(i, &items[i]))
+}
+
+/// Parallel for-each over an index range (side effects only).
+///
+/// `f` must be safe to call concurrently for distinct indices; iteration
+/// order across indices is unspecified (within a chunk it is ascending).
+pub fn par_for_each_index<F>(label: &str, n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let _unit: Vec<()> = par_map_index(label, n, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        let got = with_threads(4, || par_map("test.map", &items, |_, v| v * 3 + 1));
+        assert_eq!(got, expect);
+        let got1 = with_threads(1, || par_map("test.map", &items, |_, v| v * 3 + 1));
+        assert_eq!(got1, expect);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(with_threads(4, || par_map("test.empty", &empty, |_, v| *v)), empty);
+        assert_eq!(with_threads(4, || par_map_index("test.one", 1, |i| i)), vec![0]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let n = 257; // deliberately not a multiple of any chunking
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(3, || {
+            par_for_each_index("test.once", n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_fall_back_to_serial() {
+        // A par_map inside a par_map must not deadlock or oversubscribe;
+        // the inner call observes thread_count() == 1.
+        let inner_counts = with_threads(2, || {
+            par_map_index("test.outer", 4, |_| {
+                let inner = thread_count();
+                let v = par_map_index("test.inner", 8, |i| i * i);
+                assert_eq!(v, (0..8).map(|i| i * i).collect::<Vec<_>>());
+                inner
+            })
+        });
+        assert!(inner_counts.iter().all(|&c| c == 1), "{inner_counts:?}");
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let outside = thread_count();
+        with_threads(7, || assert_eq!(thread_count(), 7));
+        assert_eq!(thread_count(), outside);
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(5, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(thread_count(), outside, "override restored after unwind");
+    }
+
+    #[test]
+    fn seeded_tasks_are_schedule_independent() {
+        // The canonical pattern: each task derives its RNG from task_seed.
+        let run = |threads| {
+            with_threads(threads, || {
+                par_map_index("test.seeded", 64, |i| {
+                    let mut z = crate::task_seed(99, i as u64);
+                    // a few mixing rounds standing in for "random work"
+                    for _ in 0..10 {
+                        z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    }
+                    z
+                })
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(2), run(8));
+    }
+
+    #[test]
+    fn pool_metrics_are_recorded() {
+        let before = dtp_obs::global().counter("par.tasks").get();
+        with_threads(2, || par_map_index("test.metrics", 100, |i| i));
+        let after = dtp_obs::global().counter("par.tasks").get();
+        assert!(after >= before + 100);
+        assert!(dtp_obs::global().histogram("span.par.test.metrics").count() >= 1);
+    }
+}

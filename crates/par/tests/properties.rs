@@ -1,0 +1,51 @@
+//! Property tests for the parallel execution layer: at ANY thread count,
+//! `par_map` is observationally identical to serial `map`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+proptest! {
+    /// par_map over arbitrary slices equals serial map, element for
+    /// element and in order, at every thread count swept.
+    #[test]
+    fn par_map_equals_serial_map(
+        xs in proptest::collection::vec(-1e9f64..1e9, 0..300),
+        threads in 1usize..9,
+    ) {
+        let f = |v: &f64| v.mul_add(0.5, 1.0).to_bits();
+        let serial: Vec<u64> = xs.iter().map(f).collect();
+        let parallel =
+            dtp_par::with_threads(threads, || dtp_par::par_map("prop.map", &xs, |_, v| f(v)));
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Randomized tasks seeded via task_seed are schedule-independent:
+    /// the full result vector is bitwise identical at 1 vs k threads.
+    #[test]
+    fn seeded_random_tasks_are_deterministic(
+        n in 0usize..120,
+        base in 0u64..1_000_000,
+        threads in 2usize..9,
+    ) {
+        let run = |t: usize| {
+            dtp_par::with_threads(t, || {
+                dtp_par::par_map_index("prop.seeded", n, |i| {
+                    let mut rng = StdRng::seed_from_u64(dtp_par::task_seed(base, i as u64));
+                    (0..8).map(|_| rng.random_range(0..1_000_000u64)).sum::<u64>()
+                })
+            })
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
+
+    /// Index argument passed to the closure always matches the slot the
+    /// result lands in.
+    #[test]
+    fn indices_align_with_slots(n in 0usize..500, threads in 1usize..9) {
+        let out = dtp_par::with_threads(threads, || {
+            dtp_par::par_map_index("prop.idx", n, |i| i)
+        });
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Offline CI gate: release build, full test suite, lint-clean, and a smoke
-# run of the pipeline cost profiler (its JSON artifact must carry the
-# documented schema keys).
+# Offline CI gate: release build, full test suite (serial and 2-thread),
+# lint-clean, and smoke runs of the pipeline cost profiler and the parallel
+# execution benchmark (their JSON artifacts must carry the documented
+# schema keys).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# The whole suite again with the dtp-par pool fanned out: determinism says
+# every result must be identical, so any test that fails only here is a
+# scheduling bug.
+DTP_THREADS=2 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p dtp-obs --all-targets -- -D warnings
+cargo clippy -p dtp-par --all-targets -- -D warnings
 
 profile=target/pipeline_profile.json
 rm -f "$profile"
@@ -20,6 +26,20 @@ fi
 for key in schema stages tls packet memory_ratio compute_ratio spans metrics; do
     if ! grep -q "\"$key\"" "$profile"; then
         echo "check.sh: $profile is missing required key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+bench=target/BENCH_parallel.json
+rm -f "$bench"
+DTP_BENCH_PARALLEL_OUT="$bench" ./target/release/bench_parallel --smoke
+if [[ ! -s "$bench" ]]; then
+    echo "check.sh: $bench missing or empty" >&2
+    exit 1
+fi
+for key in schema threads smoke extract_tls forest_fit predict cv serial_ms parallel_ms speedup; do
+    if ! grep -q "\"$key\"" "$bench"; then
+        echo "check.sh: $bench is missing required key \"$key\"" >&2
         exit 1
     fi
 done
