@@ -1,0 +1,126 @@
+//! Streaming-engine soak benchmark (`BENCH_stream.json`).
+//!
+//! Simulates a fleet of clients, stitches each client's sessions into one
+//! long transaction stream, merges the fleet by event time, and pushes the
+//! whole feed through a [`dtp_stream::StreamEngine`] deploying a model via
+//! the serialize/deserialize path (`to_json` → `from_json`) — the exact
+//! shape of a production rollout. Reports sustained throughput
+//! (records/sec, sessions/sec) and the p95 micro-batch emit latency from
+//! the `stream.emit_ms` histogram.
+//!
+//! The run double-checks correctness while it soaks: every emitted verdict
+//! is recomputed through `predict_index_features` and must agree, and the
+//! session count must match the engine's own tallies.
+//!
+//! Emits `BENCH_stream.json` (override with `DTP_BENCH_STREAM_OUT`),
+//! schema `dtp.bench_stream.v1`: `schema`, `threads`, `smoke`, `records`,
+//! `sessions`, `records_per_sec`, `sessions_per_sec`, `p95_emit_ms`.
+//! `--smoke` shrinks the fleet for CI; same code path, same schema.
+
+use dtp_bench::{heading, Reporter, RunConfig, TextTable};
+use dtp_core::sessionid::stitch_sessions;
+use dtp_core::{DatasetBuilder, QoeEstimator, QoeMetricKind, ServiceId};
+use dtp_stream::{StreamConfig, StreamEngine};
+use dtp_telemetry::{Stopwatch, TlsTransactionRecord};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = RunConfig::from_env();
+    let reporter = Reporter::from_env();
+    let threads = dtp_par::thread_count();
+    heading(&format!(
+        "Streaming inference soak: {} thread(s){}",
+        threads,
+        if smoke { " [smoke]" } else { "" }
+    ));
+
+    // Train once, then deploy the way production would: through JSON.
+    let train_sessions = if smoke { 30 } else { 60 };
+    let corpus =
+        DatasetBuilder::new(ServiceId::Svc1).sessions(train_sessions).seed(cfg.seed).build();
+    let trained = QoeEstimator::train(&corpus, QoeMetricKind::Combined, cfg.seed);
+    let deployed = QoeEstimator::from_json(&trained.to_json()).expect("model round-trips");
+    assert_eq!(trained.model_digest(), deployed.model_digest(), "deploy path changed the model");
+    reporter.verbose(&format!("deployed model digest {}", deployed.model_digest()));
+
+    // A fleet of clients, each replaying a stitched back-to-back stream.
+    let clients = if smoke { 4 } else { 16 };
+    let sessions_per_client =
+        if smoke { 6 } else { cfg.sessions.unwrap_or(40).clamp(10, 100) };
+    let services = [ServiceId::Svc1, ServiceId::Svc2, ServiceId::Svc3];
+    let mut feed: Vec<(usize, TlsTransactionRecord)> = Vec::new();
+    for c in 0..clients {
+        let service = services[c % services.len()];
+        let stream =
+            stitch_sessions(service, sessions_per_client, cfg.seed ^ (0x51e4 + c as u64));
+        feed.extend(stream.transactions.into_iter().map(|t| (c, t)));
+    }
+    // Merge the fleet into one event-time-ordered feed (stable on ties so
+    // per-client order is preserved).
+    feed.sort_by(|a, b| a.1.start_s.total_cmp(&b.1.start_s));
+    let records = feed.len();
+    reporter.verbose(&format!(
+        "{clients} clients x {sessions_per_client} sessions = {records} records"
+    ));
+
+    let engine_cfg = StreamConfig { idle_timeout_s: 1e9, ..StreamConfig::default() };
+    let mut engine = StreamEngine::new(deployed, engine_cfg).expect("valid config");
+    let client_names: Vec<String> = (0..clients).map(|c| format!("client-{c:03}")).collect();
+
+    let sw = Stopwatch::start();
+    let mut verdicts = Vec::new();
+    for (c, rec) in feed {
+        verdicts.extend(engine.push(&client_names[c], rec));
+    }
+    verdicts.extend(engine.finish());
+    let elapsed_s = sw.elapsed_s().max(1e-9);
+
+    // Soak-time correctness: rescore every verdict through the model.
+    for v in &verdicts {
+        assert_eq!(
+            engine.estimator().predict_index_features(&v.features),
+            v.predicted,
+            "verdict for {}#{} disagrees with direct scoring",
+            v.client,
+            v.ordinal
+        );
+    }
+    let sessions = verdicts.len();
+    assert_eq!(sessions, engine.stats().sessions_emitted, "tally mismatch");
+    assert_eq!(engine.stats().late_dropped, 0, "event-time merge cannot be late");
+    assert_eq!(engine.ingest_stats().quarantined, 0, "simulated feed is clean");
+
+    let p95_emit_ms = dtp_obs::global().histogram("stream.emit_ms").quantile(0.95);
+    let records_per_sec = records as f64 / elapsed_s;
+    let sessions_per_sec = sessions as f64 / elapsed_s;
+
+    let mut table = TextTable::new(&["Metric", "Value"]);
+    table.row(&["records".into(), records.to_string()]);
+    table.row(&["sessions".into(), sessions.to_string()]);
+    table.row(&["wall (s)".into(), format!("{elapsed_s:.3}")]);
+    table.row(&["records/sec".into(), format!("{records_per_sec:.0}")]);
+    table.row(&["sessions/sec".into(), format!("{sessions_per_sec:.1}")]);
+    table.row(&["p95 emit (ms)".into(), format!("{p95_emit_ms:.3}")]);
+    table.print();
+    reporter.info(&format!(
+        "\n{sessions} verdicts rescored against the deployed model: all agree."
+    ));
+
+    let artifact = serde_json::json!({
+        "schema": "dtp.bench_stream.v1",
+        "threads": threads as f64,
+        "smoke": smoke,
+        "records": records as f64,
+        "sessions": sessions as f64,
+        "records_per_sec": records_per_sec,
+        "sessions_per_sec": sessions_per_sec,
+        "p95_emit_ms": p95_emit_ms,
+    });
+    let out = std::env::var("DTP_BENCH_STREAM_OUT")
+        .unwrap_or_else(|_| "BENCH_stream.json".to_string());
+    std::fs::write(&out, format!("{artifact}\n")).expect("write BENCH_stream.json");
+    reporter.info(&format!("wrote {out}"));
+    if cfg.json {
+        println!("{artifact}");
+    }
+}

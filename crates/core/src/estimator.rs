@@ -13,6 +13,10 @@ use crate::dataset::Corpus;
 use crate::label::{QoeCategory, QoeMetricKind};
 
 /// A trained per-service, per-metric QoE estimator.
+///
+/// `Clone` is cheap relative to training and lets one trained model be
+/// deployed to several streaming engines.
+#[derive(Clone)]
 pub struct QoeEstimator {
     forest: RandomForest,
     metric: QoeMetricKind,
@@ -49,6 +53,35 @@ impl QoeEstimator {
     pub fn predict_index(&self, transactions: &[TlsTransactionRecord]) -> usize {
         let features = extract_tls_features(transactions);
         self.forest.predict(&features)
+    }
+
+    /// Predict the class index from an already-extracted 38-feature vector.
+    ///
+    /// This is the scoring half of [`QoeEstimator::predict_index`] — same
+    /// forest, same tie-breaking — for callers that maintain feature
+    /// vectors themselves (the streaming engine's accumulators, cached
+    /// corpora).
+    pub fn predict_index_features(&self, features: &[f64]) -> usize {
+        self.forest.predict(features)
+    }
+
+    /// Averaged class probabilities for a micro-batch of feature vectors,
+    /// fanned out over the `dtp-par` pool. Row `i` scores `rows[i]`, at any
+    /// thread count.
+    pub fn predict_proba_features_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.forest.predict_proba_batch(rows)
+    }
+
+    /// A stable content digest of the serialized model (FNV-1a over the
+    /// JSON export), for golden fixtures and deploy-time sanity checks: two
+    /// estimators with the same digest make identical predictions.
+    pub fn model_digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
     }
 
     /// Predict on the combined/quality scale. For the re-buffering metric,
@@ -99,6 +132,33 @@ mod tests {
         assert!(idx < 3);
         let _ = est.predict_category(session.telemetry.tls.transactions());
         let _ = est.predicts_low_qoe(session.telemetry.tls.transactions());
+    }
+
+    #[test]
+    fn feature_level_prediction_matches_transaction_level() {
+        let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(30).seed(5).build();
+        let est = QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0);
+        let rows: Vec<Vec<f64>> =
+            corpus.records.iter().map(|r| r.tls_features.clone()).collect();
+        let probas = est.predict_proba_features_batch(&rows);
+        assert_eq!(probas.len(), rows.len());
+        for (row, proba) in rows.iter().zip(&probas) {
+            assert_eq!(proba.len(), 3);
+            assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // First-max argmax is the forest's own tie-break convention.
+            let mut best = 0;
+            for (i, v) in proba.iter().enumerate() {
+                if *v > proba[best] {
+                    best = i;
+                }
+            }
+            assert_eq!(est.predict_index_features(row), best);
+        }
+        let digest = est.model_digest();
+        assert_eq!(digest.len(), 16);
+        assert_eq!(digest, est.model_digest(), "digest is stable");
+        let restored = QoeEstimator::from_json(&est.to_json()).unwrap();
+        assert_eq!(restored.model_digest(), digest, "digest survives round-trip");
     }
 
     #[test]

@@ -27,5 +27,7 @@ pub use dataset::{Corpus, DatasetBuilder, SessionRecord};
 pub use dtp_hasplayer::ServiceId;
 pub use estimator::QoeEstimator;
 pub use label::{QoeCategory, QoeMetricKind, RebufCategory};
-pub use sessionid::{SessionIdError, SessionIdParams, SessionSplitter};
+pub use sessionid::{
+    IncrementalSessionDetector, SessionIdError, SessionIdParams, SessionSplitter,
+};
 pub use sim::{simulate_session, SessionConfig, SimulatedSession};

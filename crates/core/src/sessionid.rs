@@ -174,6 +174,123 @@ impl SessionSplitter {
     }
 }
 
+/// The streaming form of the boundary heuristic: transactions are pushed
+/// one at a time (nondecreasing `start_s`) and each is decided as soon as
+/// its look-ahead window `[t_i, t_i + W]` is provably complete — i.e. once
+/// some later transaction starts after `t_i + W`, or the stream is
+/// [`finish`](IncrementalSessionDetector::finish)ed.
+///
+/// The decisions are **identical** to
+/// [`SessionSplitter::detect`] over the same sorted stream: both evaluate
+/// the same burst (`N`) and new-server fraction (`δ`) against the same
+/// running seen-server set, the incremental form just does it with a
+/// bounded buffer instead of a full slice. `tests` pin this equivalence and
+/// `tests/stream_vs_batch.rs` re-proves it end-to-end through the
+/// streaming engine.
+///
+/// Small disorder among *not-yet-decided* transactions is tolerated (they
+/// are kept sorted by `start_s`, ties in arrival order, matching the batch
+/// splitter's stable sort); a transaction starting before an
+/// already-decided one cannot be re-decided — callers bound disorder with a
+/// reorder buffer (see `dtp-stream`).
+#[derive(Debug, Clone)]
+pub struct IncrementalSessionDetector {
+    params: SessionIdParams,
+    pending: std::collections::VecDeque<TlsTransactionRecord>,
+    seen: HashSet<Arc<str>>,
+    max_start_seen: f64,
+}
+
+impl IncrementalSessionDetector {
+    /// Detector with custom parameters, repaired exactly like
+    /// [`SessionSplitter::new`].
+    pub fn new(params: SessionIdParams) -> Self {
+        let params = *SessionSplitter::new(params).params();
+        Self {
+            params,
+            pending: std::collections::VecDeque::new(),
+            seen: HashSet::new(),
+            max_start_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &SessionIdParams {
+        &self.params
+    }
+
+    /// Transactions buffered awaiting a complete look-ahead window.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offer the next transaction; appends every now-decidable transaction
+    /// to `out` as `(transaction, starts_new_session)`, in start order.
+    pub fn push(
+        &mut self,
+        rec: TlsTransactionRecord,
+        out: &mut Vec<(TlsTransactionRecord, bool)>,
+    ) {
+        self.max_start_seen = self.max_start_seen.max(rec.start_s);
+        // Sorted insert from the back: ties keep arrival order, matching
+        // the batch splitter's stable sort.
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|p| p.start_s <= rec.start_s)
+            .map_or(0, |i| i + 1);
+        self.pending.insert(pos, rec);
+        while let Some(front) = self.pending.front() {
+            if self.max_start_seen <= front.start_s + self.params.window_s {
+                break;
+            }
+            out.push(self.decide_front());
+        }
+    }
+
+    /// End of stream: decide everything still pending, in order.
+    pub fn finish(&mut self) -> Vec<(TlsTransactionRecord, bool)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            out.push(self.decide_front());
+        }
+        self.seen.clear();
+        self.max_start_seen = f64::NEG_INFINITY;
+        out
+    }
+
+    /// Decide the front pending transaction — the batch inner loop, scoped
+    /// to the buffered window.
+    fn decide_front(&mut self) -> (TlsTransactionRecord, bool) {
+        let t_i = self.pending.front().expect("pending non-empty").start_s;
+        let mut n = 0usize;
+        let mut unseen = 0usize;
+        for t in &self.pending {
+            if t.start_s > t_i + self.params.window_s {
+                break;
+            }
+            n += 1;
+            if !self.seen.contains(&t.sni) {
+                unseen += 1;
+            }
+        }
+        let delta = if n > 0 { unseen as f64 / n as f64 } else { 0.0 };
+        let is_new = n > self.params.n_min && delta > self.params.delta_min;
+        if is_new {
+            self.seen.clear();
+        }
+        let f = self.pending.pop_front().expect("pending non-empty");
+        self.seen.insert(Arc::clone(&f.sni));
+        (f, is_new)
+    }
+}
+
+impl Default for IncrementalSessionDetector {
+    fn default() -> Self {
+        Self::new(SessionIdParams::default())
+    }
+}
+
 /// A merged stream of back-to-back sessions with per-transaction truth.
 #[derive(Debug, Clone)]
 pub struct BackToBackStream {
@@ -339,6 +456,99 @@ mod tests {
         assert_eq!(repaired.params().window_s, 3.0);
         assert_eq!(repaired.params().delta_min, 1.0);
         assert!(SessionSplitter::try_new(SessionIdParams::default()).is_ok());
+    }
+
+    /// Replay a sorted stream through the incremental detector, pushing one
+    /// record at a time, and return the per-input boundary verdicts.
+    fn incremental_verdicts(
+        stream: &[TlsTransactionRecord],
+        params: SessionIdParams,
+    ) -> Vec<bool> {
+        let mut det = IncrementalSessionDetector::new(params);
+        let mut decided = Vec::new();
+        for t in stream {
+            det.push(t.clone(), &mut decided);
+        }
+        decided.extend(det.finish());
+        assert_eq!(decided.len(), stream.len());
+        for (got, want) in decided.iter().zip(stream) {
+            assert_eq!(&got.0, want, "incremental must preserve stream order");
+        }
+        decided.into_iter().map(|(_, b)| b).collect()
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_synthetic_streams() {
+        let streams = [
+            vec![
+                tx(0.0, "a"),
+                tx(0.5, "b"),
+                tx(50.0, "a"),
+                tx(100.0, "c"),
+                tx(100.8, "d"),
+                tx(101.5, "e"),
+            ],
+            vec![tx(0.0, "a"), tx(1.0, "b"), tx(2.0, "c"), tx(90.0, "z")],
+            vec![
+                tx(0.0, "a"),
+                tx(0.4, "b"),
+                tx(0.8, "b2"),
+                tx(100.0, "c"),
+                tx(100.5, "d"),
+                tx(101.0, "e"),
+                tx(130.0, "c"),
+            ],
+            Vec::new(),
+        ];
+        for stream in &streams {
+            let batch = SessionSplitter::default().detect(stream);
+            let inc = incremental_verdicts(stream, SessionIdParams::default());
+            assert_eq!(inc, batch, "{stream:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_stitched_corpora() {
+        for (seed, n) in [(3u64, 8usize), (17, 15), (99, 25)] {
+            let stream = stitch_sessions(ServiceId::Svc1, n, seed);
+            let batch = SessionSplitter::default().detect(&stream.transactions);
+            let inc = incremental_verdicts(&stream.transactions, SessionIdParams::default());
+            assert_eq!(inc, batch, "seed {seed} n {n}");
+        }
+    }
+
+    #[test]
+    fn incremental_decides_eagerly_once_window_closes() {
+        let mut det = IncrementalSessionDetector::default();
+        let mut out = Vec::new();
+        det.push(tx(0.0, "a"), &mut out);
+        det.push(tx(0.5, "b"), &mut out);
+        assert!(out.is_empty(), "window W still open");
+        assert_eq!(det.pending_len(), 2);
+        // A record past 0.0 + W closes the first window.
+        det.push(tx(10.0, "c"), &mut out);
+        assert_eq!(out.len(), 2, "both early records decidable: {out:?}");
+        assert_eq!(det.pending_len(), 1);
+        let rest = det.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(det.pending_len(), 0);
+    }
+
+    #[test]
+    fn incremental_tolerates_disorder_among_pending() {
+        // b arrives after c but starts earlier; both still pending, so the
+        // detector re-sorts and the verdicts match the batch sorted view.
+        let sorted =
+            vec![tx(0.0, "a"), tx(1.0, "b"), tx(1.5, "c"), tx(40.0, "d"), tx(41.0, "e"), tx(41.5, "f")];
+        let batch = SessionSplitter::default().detect(&sorted);
+        let mut det = IncrementalSessionDetector::default();
+        let mut decided = Vec::new();
+        for i in [0usize, 2, 1, 3, 5, 4] {
+            det.push(sorted[i].clone(), &mut decided);
+        }
+        decided.extend(det.finish());
+        let got: Vec<bool> = decided.iter().map(|(_, b)| *b).collect();
+        assert_eq!(got, batch);
     }
 
     #[test]

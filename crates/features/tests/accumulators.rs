@@ -1,0 +1,105 @@
+//! Property tests: the streaming accumulators agree with the batch
+//! statistics kernel (`dtp_features::stats`) on arbitrary finite inputs.
+//!
+//! The exactness contract (see `accum` module docs): the two-heap median
+//! is **bitwise** equal to `stats::median`; Welford's mean/variance are a
+//! numerically *better* summation order than the naive batch fold, so
+//! those agree to tight relative tolerance rather than bit patterns.
+
+use dtp_features::stats;
+use dtp_features::{P2Quantile, SeriesStats, StreamingMedian, Welford};
+use proptest::prelude::*;
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Welford mean matches the batch mean on arbitrary finite inputs.
+    #[test]
+    fn welford_mean_matches_batch(xs in proptest::collection::vec(-1e9f64..1e9, 0..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert_eq!(w.count(), xs.len() as u64);
+        prop_assert!(rel_close(w.mean(), stats::mean(&xs), 1e-9),
+            "streaming {} vs batch {}", w.mean(), stats::mean(&xs));
+    }
+
+    /// Welford standard deviation matches the batch population std-dev.
+    #[test]
+    fn welford_std_dev_matches_batch(xs in proptest::collection::vec(-1e6f64..1e6, 0..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        // Absolute fallback covers near-zero spreads where the batch
+        // formula's cancellation dominates both sides.
+        let (a, b) = (w.std_dev(), stats::std_dev(&xs));
+        prop_assert!(rel_close(a, b, 1e-6) || (a - b).abs() < 1e-6,
+            "streaming {} vs batch {}", a, b);
+    }
+
+    /// The two-heap median is bitwise equal to the batch median after
+    /// every single push, not just at the end.
+    #[test]
+    fn streaming_median_bitwise_equals_batch(
+        xs in proptest::collection::vec(-1e12f64..1e12, 1..200),
+    ) {
+        let mut m = StreamingMedian::new();
+        for i in 0..xs.len() {
+            m.push(xs[i]);
+            let batch = stats::median(&xs[..=i]);
+            prop_assert_eq!(m.median().to_bits(), batch.to_bits(),
+                "after {} pushes: streaming {} vs batch {}", i + 1, m.median(), batch);
+        }
+    }
+
+    /// SeriesStats min/max are bitwise equal to the batch folds.
+    #[test]
+    fn series_min_max_bitwise_equal(xs in proptest::collection::vec(-1e12f64..1e12, 0..200)) {
+        let mut s = SeriesStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        prop_assert_eq!(s.min().to_bits(), stats::min(&xs).to_bits());
+        prop_assert_eq!(s.max().to_bits(), stats::max(&xs).to_bits());
+        prop_assert_eq!(s.median().to_bits(), stats::median(&xs).to_bits());
+    }
+
+    /// The P² sketch stays within the sample's range and tracks the true
+    /// quantile to coarse tolerance on well-behaved inputs.
+    #[test]
+    fn p2_sketch_bounded_by_sample_range(
+        xs in proptest::collection::vec(0.0f64..1e6, 5..400),
+        q in 0.1f64..0.9,
+    ) {
+        let mut sketch = P2Quantile::new(q);
+        for &x in &xs {
+            sketch.push(x);
+        }
+        let lo = stats::min(&xs);
+        let hi = stats::max(&xs);
+        let est = sketch.estimate();
+        prop_assert!(est >= lo && est <= hi,
+            "estimate {} outside sample range [{}, {}]", est, lo, hi);
+    }
+
+    /// Below five observations the P² sketch stores the raw sample and
+    /// answers by nearest rank — for odd sample sizes the median variant
+    /// is therefore *bitwise* the batch median (same middle element).
+    #[test]
+    fn p2_exact_below_marker_count(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..5)) {
+        if xs.len() % 2 == 0 {
+            xs.pop();
+        }
+        let mut sketch = P2Quantile::median();
+        for &x in &xs {
+            sketch.push(x);
+        }
+        let batch = stats::median(&xs);
+        prop_assert_eq!(sketch.estimate().to_bits(), batch.to_bits(),
+            "sketch {} vs batch {}", sketch.estimate(), batch);
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge-case contract for [`ConfusionMatrix`] and [`ClassReport`]: every
+//! degenerate input — empty matrix, a single observed class, classes with
+//! zero support — yields well-defined (finite, non-NaN) metrics, never a
+//! division-by-zero artifact. Streaming deployments hit these constantly
+//! (the first micro-batch of a quiet cell is usually single-class).
+
+use dtp_ml::metrics::{ClassReport, ConfusionMatrix};
+
+fn assert_report_well_defined(r: &ClassReport) {
+    assert!(r.recall.is_finite(), "class {}: recall {}", r.class, r.recall);
+    assert!(r.precision.is_finite(), "class {}: precision {}", r.class, r.precision);
+    assert!(r.f1.is_finite(), "class {}: f1 {}", r.class, r.f1);
+    assert!((0.0..=1.0).contains(&r.recall));
+    assert!((0.0..=1.0).contains(&r.precision));
+    assert!((0.0..=1.0).contains(&r.f1));
+}
+
+#[test]
+fn empty_matrix_metrics_are_zero_not_nan() {
+    for n_classes in [0, 1, 2, 3, 7] {
+        let m = ConfusionMatrix::new(n_classes);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0, "{n_classes} classes");
+        assert_eq!(m.macro_f1(), 0.0, "{n_classes} classes");
+        let reports = m.class_reports();
+        assert_eq!(reports.len(), m.n_classes());
+        for r in &reports {
+            assert_eq!(r.support, 0);
+            assert_eq!((r.recall, r.precision, r.f1), (0.0, 0.0, 0.0));
+            assert_report_well_defined(r);
+        }
+        for row in m.row_normalized() {
+            assert!(row.iter().all(|&v| v == 0.0), "empty rows normalize to zeros");
+        }
+    }
+}
+
+#[test]
+fn single_class_input_is_well_defined() {
+    // Every observation is actual=1, predicted=1: the other classes have
+    // zero support AND zero predictions.
+    let m = ConfusionMatrix::from_pairs(&[1; 20], &[1; 20], 3);
+    assert_eq!(m.accuracy(), 1.0);
+    assert_eq!(m.recall(1), 1.0);
+    assert_eq!(m.precision(1), 1.0);
+    assert_eq!(m.f1(1), 1.0);
+    for absent in [0, 2] {
+        assert_eq!(m.support(absent), 0);
+        assert_eq!(m.recall(absent), 0.0);
+        assert_eq!(m.precision(absent), 0.0);
+        assert_eq!(m.f1(absent), 0.0);
+    }
+    assert!(m.macro_f1().is_finite());
+    assert!((m.macro_f1() - 1.0 / 3.0).abs() < 1e-12, "only class 1 contributes");
+    for r in m.class_reports() {
+        assert_report_well_defined(&r);
+    }
+}
+
+#[test]
+fn zero_support_but_predicted_class_has_zero_recall_defined_precision() {
+    // Class 2 never actually occurs but the classifier predicts it: recall
+    // is 0 by convention (no actual positives), precision is a real ratio.
+    let m = ConfusionMatrix::from_pairs(&[0, 0, 1, 1], &[2, 0, 2, 1], 3);
+    assert_eq!(m.support(2), 0);
+    assert_eq!(m.recall(2), 0.0, "zero support => zero recall, not NaN");
+    assert_eq!(m.precision(2), 0.0, "predicted twice, correct zero times");
+    assert_eq!(m.f1(2), 0.0);
+    let r = &m.class_reports()[2];
+    assert_eq!(r.support, 0);
+    assert_report_well_defined(r);
+}
+
+#[test]
+fn supported_but_never_predicted_class_has_zero_precision_defined_recall() {
+    // Mirror case: class 0 occurs but is never predicted.
+    let m = ConfusionMatrix::from_pairs(&[0, 0, 1], &[1, 1, 1], 2);
+    assert_eq!(m.support(0), 2);
+    assert_eq!(m.recall(0), 0.0);
+    assert_eq!(m.precision(0), 0.0, "never predicted => zero precision, not NaN");
+    assert_eq!(m.f1(0), 0.0);
+    for r in m.class_reports() {
+        assert_report_well_defined(&r);
+    }
+}
+
+#[test]
+fn out_of_range_only_input_behaves_like_empty() {
+    let mut m = ConfusionMatrix::new(2);
+    m.record(5, 0);
+    m.record(0, 7);
+    m.record(9, 9);
+    assert_eq!(m.total(), 0);
+    assert_eq!(m.out_of_range(), 3);
+    assert_eq!(m.accuracy(), 0.0);
+    assert!(m.macro_f1().is_finite());
+    for r in m.class_reports() {
+        assert_report_well_defined(&r);
+    }
+}
+
+#[test]
+fn merging_empty_matrices_stays_well_defined() {
+    let mut a = ConfusionMatrix::new(3);
+    let b = ConfusionMatrix::new(3);
+    a.merge(&b);
+    assert_eq!(a.total(), 0);
+    assert_eq!(a.accuracy(), 0.0);
+    for r in a.class_reports() {
+        assert_report_well_defined(&r);
+    }
+}

@@ -45,6 +45,21 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
+
+    /// Add `delta` (negative to decrement) atomically — for level gauges
+    /// like `stream.sessions_open` that track a population rather than a
+    /// sampled value. Lost-update-free via a compare-exchange loop on the
+    /// bit pattern.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 /// Number of histogram buckets.
@@ -348,6 +363,28 @@ mod tests {
         assert_eq!(bucket_index(0.0), 0);
         assert_eq!(bucket_index(-3.0), 0);
         assert_eq!(bucket_index(1e300), BUCKETS - 1);
+    }
+
+    #[test]
+    fn gauge_add_tracks_a_level() {
+        let r = Registry::new();
+        let g = r.gauge("stream.sessions_open");
+        g.add(1.0);
+        g.add(1.0);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.0);
+        // Concurrent increments don't lose updates.
+        let g2 = r.gauge("stream.sessions_open");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g2.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 4001.0);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the streaming engine's ordering guarantees.
+//!
+//! The contract under test: any arrival-order perturbation that stays
+//! within the reorder window — and never reorders equal-start records —
+//! produces exactly the same verdict stream as the in-order replay,
+//! because the reorder buffer restores sorted order before anything
+//! reaches the detector or the accumulators.
+
+use std::sync::Arc;
+
+use dtp_core::{DatasetBuilder, QoeEstimator, QoeMetricKind, ServiceId};
+use dtp_stream::{SessionVerdict, StreamConfig, StreamEngine};
+use dtp_telemetry::TlsTransactionRecord;
+use proptest::prelude::*;
+
+fn estimator() -> QoeEstimator {
+    static MODEL: std::sync::OnceLock<QoeEstimator> = std::sync::OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(25).seed(40).build();
+            QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0)
+        })
+        .clone()
+}
+
+/// Deterministic synthetic stream: bursts of transactions with varied
+/// inter-arrival gaps, all parameters drawn by proptest.
+fn arb_stream() -> impl Strategy<Value = Vec<TlsTransactionRecord>> {
+    proptest::collection::vec(
+        (0.5f64..30.0, 1.0f64..60.0, 100.0f64..5e6, 0u8..6),
+        2..60,
+    )
+    .prop_map(|steps| {
+        let mut t = 0.0f64;
+        steps
+            .into_iter()
+            .map(|(gap, dur, bytes, sni)| {
+                t += gap;
+                TlsTransactionRecord {
+                    start_s: t,
+                    end_s: t + dur,
+                    up_bytes: bytes / 100.0,
+                    down_bytes: bytes,
+                    sni: Arc::from(format!("server-{sni}")),
+                }
+            })
+            .collect()
+    })
+}
+
+/// Swap adjacent records (guided by `swaps`) whenever the start gap is
+/// strictly inside the reorder window.
+fn perturb(
+    records: &[TlsTransactionRecord],
+    swaps: &[bool],
+    window_s: f64,
+) -> Vec<TlsTransactionRecord> {
+    let mut out = records.to_vec();
+    let mut i = 1;
+    while i < out.len() {
+        let gap = out[i].start_s - out[i - 1].start_s;
+        if swaps[i % swaps.len()] && gap > 0.0 && gap < window_s {
+            out.swap(i - 1, i);
+            i += 2; // leave the moved record in place
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn fingerprint(verdicts: &[SessionVerdict]) -> Vec<(String, usize, usize, Vec<u64>, usize)> {
+    verdicts
+        .iter()
+        .map(|v| {
+            (
+                v.client.to_string(),
+                v.ordinal,
+                v.transactions,
+                v.features.iter().map(|x| x.to_bits()).collect(),
+                v.predicted,
+            )
+        })
+        .collect()
+}
+
+fn replay(records: &[TlsTransactionRecord], window_s: f64) -> Vec<SessionVerdict> {
+    let cfg = StreamConfig {
+        reorder_window_s: window_s,
+        idle_timeout_s: 1e9,
+        micro_batch: 8,
+        ..StreamConfig::default()
+    };
+    let mut eng = StreamEngine::new(estimator(), cfg).expect("valid config");
+    let mut out = Vec::new();
+    for rec in records {
+        out.extend(eng.push("prop-client", rec.clone()));
+    }
+    out.extend(eng.finish());
+    assert_eq!(eng.stats().late_dropped, 0, "perturbation must stay inside the window");
+    out
+}
+
+proptest! {
+    /// Within-window shuffles never change the emitted verdict stream.
+    #[test]
+    fn reorder_window_shuffles_are_invisible(
+        records in arb_stream(),
+        swaps in proptest::collection::vec(any::<bool>(), 4..16),
+        window in 1.0f64..5.0,
+    ) {
+        let shuffled = perturb(&records, &swaps, window);
+        let base = fingerprint(&replay(&records, window));
+        let perturbed = fingerprint(&replay(&shuffled, window));
+        prop_assert_eq!(base, perturbed);
+    }
+
+    /// The engine is a pure function of its input: two identical replays
+    /// agree bitwise, including probabilities.
+    #[test]
+    fn replay_is_deterministic(records in arb_stream()) {
+        let a = replay(&records, 2.0);
+        let b = replay(&records, 2.0);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.client, &y.client);
+            prop_assert_eq!(x.ordinal, y.ordinal);
+            prop_assert_eq!(
+                x.probabilities.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                y.probabilities.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -190,7 +190,7 @@ impl IngestStats {
     /// increments the process-wide `ingest.*` counters in the
     /// [`dtp_obs::global`] registry, so pipeline-level accounting needs no
     /// manual [`IngestStats::absorb`] plumbing.
-    pub(crate) fn note_accept(&mut self, validity: Validity) {
+    pub fn note_accept(&mut self, validity: Validity) {
         let m = metrics();
         if validity.is_clean() {
             self.accepted_clean += 1;
@@ -211,7 +211,7 @@ impl IngestStats {
 
     /// Record a quarantine (struct tally + global `ingest.quarantine.*`
     /// registry counter, like [`IngestStats::note_accept`]).
-    pub(crate) fn note_quarantine(&mut self, err: &IngestError) {
+    pub fn note_quarantine(&mut self, err: &IngestError) {
         let m = metrics();
         self.quarantined += 1;
         m.quarantined.inc();

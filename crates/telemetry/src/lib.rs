@@ -34,7 +34,7 @@ pub use ingest::{IngestError, IngestStats, Validity};
 pub use http::HttpTransactionRecord;
 pub use overhead::{MemoryFootprint, Stopwatch};
 pub use packet::{Direction, PacketCapture, PacketRecord};
-pub use tls::{ProxyLog, TlsTransactionRecord};
+pub use tls::{sanitize_record, ProxyLog, TlsTransactionRecord};
 
 /// Everything the measurement plane captured for one video session.
 ///

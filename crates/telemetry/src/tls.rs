@@ -91,23 +91,18 @@ impl ProxyLog {
     ///
     /// # Errors
     /// Returns the quarantine reason; the record is counted, not stored.
-    pub fn try_push(&mut self, mut rec: TlsTransactionRecord) -> Result<Validity, IngestError> {
-        if let Err(e) = validate(&rec) {
-            self.stats.note_quarantine(&e);
-            return Err(e);
+    pub fn try_push(&mut self, rec: TlsTransactionRecord) -> Result<Validity, IngestError> {
+        match sanitize_record(rec) {
+            Err(e) => {
+                self.stats.note_quarantine(&e);
+                Err(e)
+            }
+            Ok((rec, validity)) => {
+                self.stats.note_accept(validity);
+                self.transactions.push(rec);
+                Ok(validity)
+            }
         }
-        let mut validity = rec.validity();
-        if rec.start_s < 0.0 {
-            // A skewed capture clock put the record before the epoch; shift
-            // it forward, keeping its duration.
-            let shift = -rec.start_s;
-            rec.start_s = 0.0;
-            rec.end_s += shift;
-            validity.clamped_negative_start = true;
-        }
-        self.stats.note_accept(validity);
-        self.transactions.push(rec);
-        Ok(validity)
     }
 
     /// Append a transaction, quarantining silently on unusable input.
@@ -188,6 +183,35 @@ impl ProxyLog {
         }
         out
     }
+}
+
+/// Apply the full ingest-boundary policy to one record without a log:
+/// quarantine-or-repair, exactly as [`ProxyLog::try_push`] would. Unusable
+/// records (non-finite fields, negative bytes) return the typed
+/// [`IngestError`]; recoverable damage is repaired in place — a negative
+/// `start_s` is shifted to zero preserving duration — and surfaced in the
+/// returned [`Validity`].
+///
+/// Streaming consumers (one record at a time, no materialized log) share
+/// this policy with the batch boundary so both paths accept, repair, and
+/// reject identically.
+///
+/// # Errors
+/// Returns the quarantine reason the record would be rejected with.
+pub fn sanitize_record(
+    mut rec: TlsTransactionRecord,
+) -> Result<(TlsTransactionRecord, Validity), IngestError> {
+    validate(&rec)?;
+    let mut validity = rec.validity();
+    if rec.start_s < 0.0 {
+        // A skewed capture clock put the record before the epoch; shift
+        // it forward, keeping its duration.
+        let shift = -rec.start_s;
+        rec.start_s = 0.0;
+        rec.end_s += shift;
+        validity.clamped_negative_start = true;
+    }
+    Ok((rec, validity))
 }
 
 /// The quarantine rules: non-finite or negative-byte records are unusable.
@@ -301,6 +325,23 @@ mod tests {
         assert_eq!(s.non_finite_bytes, 1);
         assert_eq!(s.negative_bytes, 1);
         assert_eq!(s.offered(), 3);
+    }
+
+    #[test]
+    fn sanitize_matches_try_push_policy() {
+        // Quarantine, repair, and clean-accept all agree with ProxyLog.
+        assert!(matches!(
+            sanitize_record(rec(f64::NAN, 1.0, 0.0, 0.0, "x")),
+            Err(IngestError::NonFiniteTime { .. })
+        ));
+        let (fixed, v) = sanitize_record(rec(-2.0, 3.0, 10.0, 10.0, "x")).unwrap();
+        assert!(v.clamped_negative_start);
+        assert_eq!(fixed.start_s, 0.0);
+        assert_eq!(fixed.end_s, 5.0);
+        let clean = rec(0.0, 1.0, 1.0, 1.0, "a");
+        let (same, v) = sanitize_record(clean.clone()).unwrap();
+        assert_eq!(same, clean);
+        assert!(v.is_clean());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Live-feed replay through the streaming inference engine.
+//!
+//! Trains a QoE model, deploys it into a [`StreamEngine`], then replays an
+//! interleaved multi-client feed of TLS transaction records — the shape of
+//! data a transparent proxy exports in real time. Sessions are detected,
+//! featurized, and scored *as the records arrive*; the program prints each
+//! verdict the moment its micro-batch closes, then compares the streaming
+//! session count against the offline splitter on the same feed.
+//!
+//! ```sh
+//! cargo run --release --example streaming_replay
+//! ```
+
+use drop_the_packets::core::sessionid::stitch_sessions;
+use drop_the_packets::core::{
+    DatasetBuilder, QoeEstimator, QoeMetricKind, ServiceId, SessionSplitter,
+};
+use drop_the_packets::stream::{StreamConfig, StreamEngine};
+use drop_the_packets::telemetry::TlsTransactionRecord;
+
+fn main() {
+    // --- Train + deploy ---
+    println!("training on 60 Svc1 sessions...");
+    let corpus = DatasetBuilder::new(ServiceId::Svc1).sessions(60).seed(9).build();
+    let estimator = QoeEstimator::train(&corpus, QoeMetricKind::Combined, 0);
+    println!("deployed model digest: {}\n", estimator.model_digest());
+
+    // Micro-batch of 4 so verdicts surface quickly in a demo-sized feed.
+    let cfg = StreamConfig { micro_batch: 4, idle_timeout_s: 600.0, ..StreamConfig::default() };
+    let mut engine = StreamEngine::new(estimator, cfg).expect("valid config");
+
+    // --- Build a 3-client interleaved feed ---
+    let fleet = [
+        ("living-room", ServiceId::Svc1, 4usize, 101u64),
+        ("phone", ServiceId::Svc2, 3, 202),
+        ("laptop", ServiceId::Svc3, 3, 303),
+    ];
+    let mut feed: Vec<(&str, TlsTransactionRecord)> = Vec::new();
+    let mut per_client: Vec<(&str, Vec<TlsTransactionRecord>)> = Vec::new();
+    for (name, service, sessions, seed) in fleet {
+        let stream = stitch_sessions(service, sessions, seed);
+        feed.extend(stream.transactions.iter().cloned().map(|t| (name, t)));
+        per_client.push((name, stream.transactions));
+    }
+    feed.sort_by(|a, b| a.1.start_s.total_cmp(&b.1.start_s));
+    println!("replaying {} records from {} clients...\n", feed.len(), fleet.len());
+
+    // --- Replay ---
+    let mut emitted = 0usize;
+    let print_verdicts = |verdicts: &[drop_the_packets::stream::SessionVerdict]| {
+        for v in verdicts {
+            println!(
+                "  [{:>7.1}s..{:>7.1}s] {:<12} session #{b:<2} {:>3} txs -> {:?} (p={:.2}) [{}]",
+                v.start_s,
+                v.end_s,
+                v.client,
+                v.transactions,
+                v.category,
+                v.probabilities[v.predicted],
+                v.reason.label(),
+                b = v.ordinal,
+            );
+        }
+    };
+    for (client, rec) in feed {
+        let verdicts = engine.push(client, rec);
+        emitted += verdicts.len();
+        print_verdicts(&verdicts);
+    }
+    let tail = engine.finish();
+    emitted += tail.len();
+    println!("\n-- end of feed: flushing open sessions --");
+    print_verdicts(&tail);
+
+    // --- Cross-check against the offline pipeline ---
+    let splitter = SessionSplitter::default();
+    let offline: usize = per_client.iter().map(|(_, txs)| splitter.split(txs).len()).sum();
+    println!(
+        "\n{} streaming verdicts vs {} offline sessions ({} records in, {} late, {} quarantined)",
+        emitted,
+        offline,
+        engine.stats().records_in,
+        engine.stats().late_dropped,
+        engine.ingest_stats().quarantined,
+    );
+    assert_eq!(emitted, offline, "streaming and offline session counts must agree");
+    println!("streaming session count matches the offline splitter.");
+}

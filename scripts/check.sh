@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Offline CI gate: release build, full test suite (serial and 2-thread),
-# lint-clean, and smoke runs of the pipeline cost profiler and the parallel
-# execution benchmark (their JSON artifacts must carry the documented
-# schema keys).
+# doc tests, lint-clean, and smoke runs of the pipeline cost profiler, the
+# parallel execution benchmark, and the streaming soak (their JSON
+# artifacts must carry the documented schema keys).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q --doc --workspace
 # The whole suite again with the dtp-par pool fanned out: determinism says
 # every result must be identical, so any test that fails only here is a
 # scheduling bug.
@@ -40,6 +41,20 @@ fi
 for key in schema threads smoke extract_tls forest_fit predict cv serial_ms parallel_ms speedup; do
     if ! grep -q "\"$key\"" "$bench"; then
         echo "check.sh: $bench is missing required key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+stream=target/BENCH_stream.json
+rm -f "$stream"
+DTP_BENCH_STREAM_OUT="$stream" ./target/release/bench_stream --smoke
+if [[ ! -s "$stream" ]]; then
+    echo "check.sh: $stream missing or empty" >&2
+    exit 1
+fi
+for key in schema threads smoke records sessions records_per_sec sessions_per_sec p95_emit_ms; do
+    if ! grep -q "\"$key\"" "$stream"; then
+        echo "check.sh: $stream is missing required key \"$key\"" >&2
         exit 1
     fi
 done

@@ -24,7 +24,10 @@
 //! * [`ml`] — from-scratch Random Forest (plus k-NN, SVM, MLP, GBDT),
 //!   stratified cross-validation and metrics,
 //! * [`core`] — QoE labels, the session-identification heuristic, and the
-//!   end-to-end dataset/estimation pipeline.
+//!   end-to-end dataset/estimation pipeline,
+//! * [`stream`] — push-based streaming inference: per-client session
+//!   tracking, incremental feature accumulators, and micro-batched scoring,
+//!   bitwise-equal to the batch pipeline (see `dtp_stream` docs).
 //!
 //! ## Quickstart
 //!
@@ -42,5 +45,6 @@ pub use dtp_features as features;
 pub use dtp_hasplayer as hasplayer;
 pub use dtp_ml as ml;
 pub use dtp_simnet as simnet;
+pub use dtp_stream as stream;
 pub use dtp_telemetry as telemetry;
 pub use dtp_transport as transport;
